@@ -1,0 +1,62 @@
+// Fig. 8: time to compute the candidate set (maximum independent set of a
+// random suspicion graph) for configuration sizes n = 4..100.
+//
+// Paper shape: below 1 ms for n < 25, growing rapidly but staying under 1 s
+// up to n = 100. We reproduce the workload exactly: 100 random graphs per
+// size, MIS via the heuristic Bron-Kerbosch variant on the inverted graph.
+#include <benchmark/benchmark.h>
+
+#include "src/core/mis.h"
+#include "src/util/rng.h"
+
+namespace optilog {
+namespace {
+
+std::vector<std::vector<uint8_t>> RandomGraph(uint32_t n, double edge_prob,
+                                              Rng& rng) {
+  std::vector<std::vector<uint8_t>> adj(n, std::vector<uint8_t>(n, 0));
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(edge_prob)) {
+        adj[i][j] = adj[j][i] = 1;
+      }
+    }
+  }
+  return adj;
+}
+
+void BM_SuspicionGraphMis(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(n * 1000 + 7);
+  // Pairwise suspicions with density matching a system where roughly f
+  // replicas misbehave: each pair mutually distrusts with p = 0.15.
+  std::vector<std::vector<std::vector<uint8_t>>> graphs;
+  for (int g = 0; g < 100; ++g) {
+    graphs.push_back(RandomGraph(n, 0.15, rng));
+  }
+  size_t idx = 0;
+  for (auto _ : state) {
+    const auto mis = MaximumIndependentSetDense(graphs[idx]);
+    benchmark::DoNotOptimize(mis);
+    idx = (idx + 1) % graphs.size();
+  }
+  state.SetLabel("random suspicion graphs, p=0.15");
+}
+
+BENCHMARK(BM_SuspicionGraphMis)
+    ->Arg(4)
+    ->Arg(10)
+    ->Arg(16)
+    ->Arg(22)
+    ->Arg(25)
+    ->Arg(40)
+    ->Arg(55)
+    ->Arg(70)
+    ->Arg(85)
+    ->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace optilog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Fig. 14 (Appendix B.1): the cost of overprovisioning — tree latency
+// (score) when SA optimizes for k = q + u votes as u grows from 5% to 30%
+// of the tree size.
+//
+// Paper shape: latency rises with u (more subtrees must answer); at n = 211
+// the increase reaches ~50% when u is 30% of the tree.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/tree/kauri.h"
+#include "src/tree/tree_score.h"
+#include "src/util/stats.h"
+
+namespace optilog {
+namespace {
+
+constexpr int kRuns = 10;
+
+void RunBench() {
+  const uint32_t sizes[] = {21, 43, 91, 111, 157, 211};
+  const double u_fractions[] = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+
+  PrintHeader("Fig. 14: tree latency vs tolerated faulty leaves u (% of n)");
+  std::printf("%-6s", "n");
+  for (double frac : u_fractions) {
+    std::printf("  %4.0f%%          ", frac * 100);
+  }
+  std::printf("\n");
+
+  const AnnealingParams params = ParamsForSearchSeconds(1.0);
+
+  for (uint32_t n : sizes) {
+    const LatencyMatrix matrix = MatrixFromCities(GlobalN(n, 515151));
+    const uint32_t f = (n - 1) / 3;
+    const uint32_t q = n - f;
+    std::vector<ReplicaId> all(n);
+    for (ReplicaId id = 0; id < n; ++id) {
+      all[id] = id;
+    }
+    std::printf("%-6u", n);
+    for (double frac : u_fractions) {
+      const uint32_t u = static_cast<uint32_t>(frac * n);
+      RunningStat stat;
+      for (int run = 0; run < kRuns; ++run) {
+        Rng rng(n * 7919 + run);
+        const TreeTopology tree =
+            AnnealTree(n, all, matrix, q + u, rng, params);
+        stat.Add(TreeScore(tree, matrix, q + u) / 1000.0);
+      }
+      std::printf("  %5.3f +-%-6.3f", stat.mean(), stat.ci95());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape check: scores increase monotonically with u; the "
+              "largest trees pay the most.\n");
+}
+
+}  // namespace
+}  // namespace optilog
+
+int main() {
+  optilog::RunBench();
+  return 0;
+}

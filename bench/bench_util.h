@@ -1,0 +1,48 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every bench prints the series the corresponding paper figure plots, in a
+// plain table. Absolute values depend on the simulated substrate; the shape
+// (ordering, rough factors, crossovers) is what EXPERIMENTS.md compares.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/annealing.h"
+#include "src/core/latency_monitor.h"
+#include "src/net/geo.h"
+
+namespace optilog {
+
+// Latency matrix filled from the geographic RTTs of `cities` — the state of
+// the LatencyMonitor after one complete probe round.
+inline LatencyMatrix MatrixFromCities(const std::vector<City>& cities) {
+  const auto rtts = RttMatrixMs(cities);
+  LatencyMatrix m(static_cast<uint32_t>(cities.size()));
+  for (ReplicaId a = 0; a < cities.size(); ++a) {
+    for (ReplicaId b = 0; b < cities.size(); ++b) {
+      if (a != b) {
+        m.Record(a, b, rtts[a][b]);
+      }
+    }
+  }
+  return m;
+}
+
+// The paper's SA search-time knob, mapped to deterministic iteration budgets
+// (~5000 SA iterations per simulated second of search; see DESIGN.md).
+inline uint64_t IterationsForSearchSeconds(double seconds) {
+  return static_cast<uint64_t>(seconds * 5000.0);
+}
+
+// SA parameters for a given search time, with the cooling schedule stretched
+// over the whole budget (longer searches explore longer, as in §7.7).
+inline AnnealingParams ParamsForSearchSeconds(double seconds) {
+  return AnnealingParams::ForBudget(IterationsForSearchSeconds(seconds));
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace optilog

@@ -1,0 +1,82 @@
+// Aware/Wheat-style weighted-vote PBFT latency prediction (§5, Appendix C
+// Example C.1).
+//
+// The scheme (AWARE [13], WHEAT [57]): n = 3f + 1 + Delta replicas; 2f of
+// them carry weight Vmax = 1 + Delta / f, the rest Vmin = 1; a weighted
+// quorum needs Qv = 2f * Vmax + 1. With Delta > 0, a quorum can form from
+// fewer, well-placed replicas — which is why leader and Vmax placement
+// matter.
+//
+// The score function predicts the round duration d_rnd from the latency
+// matrix exactly as Example C.1 derives the timeout requirements:
+//   d_propose(A)   = L(leader, A)                                  (TR1)
+//   d_write(A->B)  = d_propose(A) + L(A, B)                        (TR2)
+//   prepared(B)    = fastest weighted quorum of writes at B
+//   d_accept(B->C) = prepared(B) + L(B, C)                         (TR2)
+//   d_rnd          = fastest weighted quorum of accepts at leader  (TR3)
+//
+// All latencies are matrix entries (round-trip units, matching the paper's
+// convention). The estimate u from the SuspicionMonitor is honored by
+// assuming the u fastest non-leader contributions never arrive.
+#pragma once
+
+#include <vector>
+
+#include "src/core/config_search.h"
+#include "src/core/latency_monitor.h"
+
+namespace optilog {
+
+struct WeightScheme {
+  uint32_t n = 0;
+  uint32_t f = 0;
+  double v_max = 1.0;
+  double v_min = 1.0;
+  double quorum_weight = 0.0;
+
+  // Derives the AWARE weight parameters for n replicas tolerating f faults.
+  static WeightScheme For(uint32_t n, uint32_t f);
+};
+
+// Weight of replica `id` under `config` (Vmax iff config.weight_max[id]).
+double WeightOf(const RoleConfig& config, const WeightScheme& scheme, ReplicaId id);
+
+// Earliest time a weighted quorum accumulates, given per-replica arrival
+// times and weights, assuming the `skip_fastest` earliest contributions are
+// lost to misbehaving replicas. Returns +inf if no quorum is reachable.
+double WeightedQuorumTime(std::vector<std::pair<double, double>> arrivals_weights,
+                          double quorum_weight, uint32_t skip_fastest);
+
+// Predicted round duration for a (leader, Vmax-set) configuration.
+double AwareRoundDurationMs(const RoleConfig& config, const WeightScheme& scheme,
+                            const LatencyMatrix& latency, uint32_t u);
+
+// Per-message timeouts d_m relative to the proposal timestamp (TR1-TR3).
+double AwareProposeTimeoutMs(const RoleConfig& config, const LatencyMatrix& latency,
+                             ReplicaId to);
+double AwareWriteTimeoutMs(const RoleConfig& config, const LatencyMatrix& latency,
+                           ReplicaId from, ReplicaId to);
+double AwareAcceptTimeoutMs(const RoleConfig& config, const WeightScheme& scheme,
+                            const LatencyMatrix& latency, ReplicaId from,
+                            ReplicaId to, uint32_t u);
+
+// ConfigSpace over (leader, Vmax assignment) pairs: what OptiAware anneals /
+// enumerates. Special roles (leader + Vmax holders) must come from K.
+class AwareConfigSpace : public ConfigSpace {
+ public:
+  AwareConfigSpace(uint32_t n, uint32_t f) : scheme_(WeightScheme::For(n, f)) {}
+
+  RoleConfig RandomConfig(const CandidateSet& candidates, Rng& rng) const override;
+  RoleConfig Mutate(const RoleConfig& config, const CandidateSet& candidates,
+                    Rng& rng) const override;
+  double Score(const RoleConfig& config, const LatencyMatrix& latency,
+               uint32_t u) const override;
+  bool Valid(const RoleConfig& config, const CandidateSet& candidates) const override;
+
+  const WeightScheme& scheme() const { return scheme_; }
+
+ private:
+  const WeightScheme scheme_;
+};
+
+}  // namespace optilog

@@ -1,0 +1,48 @@
+#include "src/core/delta_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/stats.h"
+
+namespace optilog {
+
+void DeltaTuner::Record(ReplicaId a, ReplicaId b, double rtt_ms) {
+  if (a == b || !(rtt_ms > 0.0) || !std::isfinite(rtt_ms)) {
+    return;
+  }
+  std::vector<double>& window = samples_[Key(a, b)];
+  window.push_back(rtt_ms);
+  if (window.size() > opts_.window) {
+    window.erase(window.begin());
+  }
+  ++total_samples_;
+}
+
+double DeltaTuner::InflationOf(const std::vector<double>& window) const {
+  if (window.size() < 3) {
+    return 1.0;
+  }
+  const double median = Percentile(window, 50.0);
+  const double tail = Percentile(window, opts_.quantile * 100.0);
+  if (median <= 0.0) {
+    return 1.0;
+  }
+  return tail / median;
+}
+
+double DeltaTuner::LinkInflation(ReplicaId a, ReplicaId b) const {
+  auto it = samples_.find(Key(a, b));
+  return it == samples_.end() ? 1.0 : InflationOf(it->second);
+}
+
+double DeltaTuner::RecommendedDelta() const {
+  double worst = 1.0;
+  for (const auto& [key, window] : samples_) {
+    worst = std::max(worst, InflationOf(window));
+  }
+  const double padded = worst * opts_.safety_margin;
+  return std::clamp(padded, opts_.min_delta, opts_.max_delta);
+}
+
+}  // namespace optilog

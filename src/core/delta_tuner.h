@@ -1,0 +1,69 @@
+// Delta tuning from recorded latency history (§7.6's future work).
+//
+// The delta parameter trades sensitivity for robustness: too small and
+// benign jitter raises false suspicions; too large and Byzantine replicas
+// can stretch every message by delta undetected. §7.6 proposes selecting
+// delta "through historical analysis of recorded latencies". This module
+// implements that analysis: it keeps a window of recorded RTT samples per
+// link, estimates the benign inflation ratio (high-quantile over median),
+// and recommends the smallest delta that would not have suspected any
+// correct-looking sample, padded by a safety margin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/crypto/signature.h"
+#include "src/util/check.h"
+
+namespace optilog {
+
+struct DeltaTunerOptions {
+  size_t window = 64;           // samples retained per link
+  double quantile = 0.99;       // benign tail to tolerate
+  double safety_margin = 1.05;  // multiplicative pad on the estimate
+  double min_delta = 1.05;      // never go fully tight
+  double max_delta = 2.0;       // beyond this the attack surface dominates
+};
+
+class DeltaTuner {
+ public:
+  explicit DeltaTuner(DeltaTunerOptions opts = {}) : opts_(opts) {
+    OL_CHECK(opts_.window > 0);
+    OL_CHECK(opts_.quantile > 0.0 && opts_.quantile <= 1.0);
+  }
+
+  // Records one RTT observation for the (a, b) link; direction-insensitive.
+  void Record(ReplicaId a, ReplicaId b, double rtt_ms);
+
+  // Inflation ratio observed on one link: quantile / median of its window.
+  // Returns 1.0 for links with fewer than 3 samples.
+  double LinkInflation(ReplicaId a, ReplicaId b) const;
+
+  // Recommended delta: the worst benign link inflation across all observed
+  // links, padded by the safety margin and clamped to [min, max].
+  double RecommendedDelta() const;
+
+  size_t links_tracked() const { return samples_.size(); }
+  size_t samples_recorded() const { return total_samples_; }
+
+ private:
+  struct LinkKey {
+    ReplicaId a, b;
+    bool operator<(const LinkKey& o) const {
+      return a != o.a ? a < o.a : b < o.b;
+    }
+  };
+  static LinkKey Key(ReplicaId a, ReplicaId b) {
+    return a < b ? LinkKey{a, b} : LinkKey{b, a};
+  }
+
+  double InflationOf(const std::vector<double>& window) const;
+
+  DeltaTunerOptions opts_;
+  std::map<LinkKey, std::vector<double>> samples_;
+  size_t total_samples_ = 0;
+};
+
+}  // namespace optilog

@@ -1,0 +1,81 @@
+#include "src/core/graph.h"
+
+namespace optilog {
+
+bool SuspicionGraph::AddEdge(ReplicaId x, ReplicaId y) {
+  if (x == y) {
+    return false;
+  }
+  const EdgeKey key = EdgeKey::Make(x, y);
+  if (!edges_.insert(key).second) {
+    return false;
+  }
+  ordered_.push_back(key);
+  return true;
+}
+
+bool SuspicionGraph::RemoveEdge(ReplicaId x, ReplicaId y) {
+  const EdgeKey key = EdgeKey::Make(x, y);
+  if (edges_.erase(key) == 0) {
+    return false;
+  }
+  ordered_.erase(std::find(ordered_.begin(), ordered_.end(), key));
+  return true;
+}
+
+void SuspicionGraph::RemoveVertex(ReplicaId v) {
+  for (auto it = ordered_.begin(); it != ordered_.end();) {
+    if (it->a == v || it->b == v) {
+      edges_.erase(*it);
+      it = ordered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SuspicionGraph::Clear() {
+  edges_.clear();
+  ordered_.clear();
+}
+
+bool SuspicionGraph::OldestEdge(EdgeKey* out) const {
+  if (ordered_.empty()) {
+    return false;
+  }
+  *out = ordered_.front();
+  return true;
+}
+
+std::vector<ReplicaId> SuspicionGraph::Neighbors(ReplicaId v) const {
+  std::vector<ReplicaId> out;
+  for (const EdgeKey& e : edges_) {
+    if (e.a == v) {
+      out.push_back(e.b);
+    } else if (e.b == v) {
+      out.push_back(e.a);
+    }
+  }
+  return out;
+}
+
+size_t SuspicionGraph::Degree(ReplicaId v) const {
+  size_t d = 0;
+  for (const EdgeKey& e : edges_) {
+    if (e.a == v || e.b == v) {
+      ++d;
+    }
+  }
+  return d;
+}
+
+std::vector<ReplicaId> SuspicionGraph::TouchedVertices() const {
+  std::set<ReplicaId> seen;
+  for (const EdgeKey& e : edges_) {
+    seen.insert(e.a);
+    seen.insert(e.b);
+  }
+  return std::vector<ReplicaId>(seen.begin(), seen.end());
+}
+
+}  // namespace optilog

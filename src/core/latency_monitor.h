@@ -1,0 +1,87 @@
+// LatencyMonitor (§4.2.1): folds committed latency vectors into the global
+// latency matrix L. Deterministic: identical commit order yields identical
+// matrices on every replica.
+//
+// Symmetry rule from the paper: L[A][B] = L[B][A] = max(Lr(A,B), Lr(B,A)),
+// where Lr is the *recorded* one-directional report. Missing reports count
+// as unknown; a peer marked unreachable reports infinity.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "src/core/measurement.h"
+
+namespace optilog {
+
+class LatencyMatrix {
+ public:
+  explicit LatencyMatrix(uint32_t n = 0) { Reset(n); }
+
+  void Reset(uint32_t n) {
+    n_ = n;
+    recorded_.assign(n, std::vector<double>(n, kUnknown));
+  }
+
+  uint32_t size() const { return n_; }
+
+  void Record(ReplicaId reporter, ReplicaId peer, double rtt_ms) {
+    if (reporter < n_ && peer < n_) {
+      recorded_[reporter][peer] = rtt_ms;
+    }
+  }
+
+  // Symmetric matrix entry per the paper's max rule. Unknown pairs return
+  // infinity (they cannot be relied on for role assignment).
+  double Rtt(ReplicaId a, ReplicaId b) const {
+    if (a == b) {
+      return 0.0;
+    }
+    if (a >= n_ || b >= n_) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double ab = recorded_[a][b];
+    const double ba = recorded_[b][a];
+    if (ab == kUnknown && ba == kUnknown) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (ab == kUnknown) {
+      return ba;
+    }
+    if (ba == kUnknown) {
+      return ab;
+    }
+    return ab > ba ? ab : ba;
+  }
+
+  bool Known(ReplicaId a, ReplicaId b) const {
+    return a == b || (a < n_ && b < n_ &&
+                      (recorded_[a][b] != kUnknown || recorded_[b][a] != kUnknown));
+  }
+
+  // Fraction of ordered pairs with at least one report; 1.0 = complete.
+  double Coverage() const;
+
+ private:
+  static constexpr double kUnknown = -1.0;
+
+  uint32_t n_ = 0;
+  std::vector<std::vector<double>> recorded_;
+};
+
+class LatencyMonitor {
+ public:
+  explicit LatencyMonitor(uint32_t n) : matrix_(n) {}
+
+  // Called by the sensor app when a latency vector commits.
+  void OnLatencyVector(const LatencyVectorRecord& rec);
+
+  const LatencyMatrix& matrix() const { return matrix_; }
+  uint64_t vectors_applied() const { return vectors_applied_; }
+
+ private:
+  LatencyMatrix matrix_;
+  uint64_t vectors_applied_ = 0;
+};
+
+}  // namespace optilog

@@ -1,0 +1,269 @@
+#include "src/core/measurement.h"
+
+#include <cmath>
+#include <limits>
+
+namespace optilog {
+
+uint16_t EncodeRttMs(double ms) {
+  if (!std::isfinite(ms)) {
+    return kRttInfinity;
+  }
+  const double units = std::ceil(ms * 10.0);  // 100 us resolution
+  if (units >= kRttInfinity) {
+    return kRttInfinity - 1;
+  }
+  return units <= 0 ? 0 : static_cast<uint16_t>(units);
+}
+
+double DecodeRttMs(uint16_t unit) {
+  if (unit == kRttInfinity) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(unit) / 10.0;
+}
+
+void LatencyVectorRecord::Serialize(ByteWriter& w) const {
+  w.U32(reporter);
+  w.U64(epoch);
+  w.U16(static_cast<uint16_t>(rtt_units.size()));
+  for (uint16_t u : rtt_units) {
+    w.U16(u);
+  }
+}
+
+LatencyVectorRecord LatencyVectorRecord::Deserialize(ByteReader& r) {
+  LatencyVectorRecord rec;
+  rec.reporter = r.U32();
+  rec.epoch = r.U64();
+  const uint16_t count = r.U16();
+  rec.rtt_units.resize(count);
+  for (auto& u : rec.rtt_units) {
+    u = r.U16();
+  }
+  return rec;
+}
+
+void SuspicionRecord::Serialize(ByteWriter& w) const {
+  w.U8(static_cast<uint8_t>(type));
+  w.U32(suspector);
+  w.U32(suspect);
+  w.U64(round);
+  w.U8(static_cast<uint8_t>(phase));
+}
+
+SuspicionRecord SuspicionRecord::Deserialize(ByteReader& r) {
+  SuspicionRecord rec;
+  rec.type = static_cast<SuspicionType>(r.U8());
+  rec.suspector = r.U32();
+  rec.suspect = r.U32();
+  rec.round = r.U64();
+  rec.phase = static_cast<PhaseTag>(r.U8());
+  return rec;
+}
+
+Bytes SignedHeader::SigningBytes() const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.U64(view);
+  for (uint8_t b : digest) {
+    w.U8(b);
+  }
+  return out;
+}
+
+void SignedHeader::Serialize(ByteWriter& w) const {
+  w.U64(view);
+  for (uint8_t b : digest) {
+    w.U8(b);
+  }
+  sig.Serialize(w);
+}
+
+SignedHeader SignedHeader::Deserialize(ByteReader& r) {
+  SignedHeader h;
+  h.view = r.U64();
+  for (auto& b : h.digest) {
+    b = r.U8();
+  }
+  h.sig = Signature::Deserialize(r);
+  return h;
+}
+
+void ComplaintRecord::Serialize(ByteWriter& w) const {
+  w.U32(accuser);
+  w.U32(accused);
+  w.U8(static_cast<uint8_t>(kind));
+  w.U16(static_cast<uint16_t>(headers.size()));
+  for (const SignedHeader& h : headers) {
+    h.Serialize(w);
+  }
+  w.U16(static_cast<uint16_t>(witness_sigs.size()));
+  for (const Signature& s : witness_sigs) {
+    s.Serialize(w);
+  }
+  w.U8(cert.has_value() ? 1 : 0);
+  if (cert.has_value()) {
+    cert->Serialize(w);
+  }
+  w.U32(expected_votes);
+}
+
+ComplaintRecord ComplaintRecord::Deserialize(ByteReader& r) {
+  ComplaintRecord rec;
+  rec.accuser = r.U32();
+  rec.accused = r.U32();
+  rec.kind = static_cast<MisbehaviorKind>(r.U8());
+  const uint16_t nh = r.U16();
+  rec.headers.reserve(nh);
+  for (uint16_t i = 0; i < nh; ++i) {
+    rec.headers.push_back(SignedHeader::Deserialize(r));
+  }
+  const uint16_t nw = r.U16();
+  rec.witness_sigs.reserve(nw);
+  for (uint16_t i = 0; i < nw; ++i) {
+    rec.witness_sigs.push_back(Signature::Deserialize(r));
+  }
+  if (r.U8() != 0) {
+    rec.cert = QuorumCert::Deserialize(r);
+  }
+  rec.expected_votes = r.U32();
+  return rec;
+}
+
+void RoleConfig::Serialize(ByteWriter& w) const {
+  w.U32(leader);
+  w.U16(static_cast<uint16_t>(parent.size()));
+  for (ReplicaId p : parent) {
+    w.U32(p);
+  }
+  w.U16(static_cast<uint16_t>(weight_max.size()));
+  for (uint8_t b : weight_max) {
+    w.U8(b);
+  }
+}
+
+RoleConfig RoleConfig::Deserialize(ByteReader& r) {
+  RoleConfig cfg;
+  cfg.leader = r.U32();
+  const uint16_t np = r.U16();
+  cfg.parent.resize(np);
+  for (auto& p : cfg.parent) {
+    p = r.U32();
+  }
+  const uint16_t nw = r.U16();
+  cfg.weight_max.resize(nw);
+  for (auto& b : cfg.weight_max) {
+    b = r.U8();
+  }
+  return cfg;
+}
+
+void ConfigProposalRecord::Serialize(ByteWriter& w) const {
+  w.U32(proposer);
+  w.U64(epoch);
+  w.F64(predicted_score);
+  config.Serialize(w);
+}
+
+ConfigProposalRecord ConfigProposalRecord::Deserialize(ByteReader& r) {
+  ConfigProposalRecord rec;
+  rec.proposer = r.U32();
+  rec.epoch = r.U64();
+  rec.predicted_score = r.F64();
+  rec.config = RoleConfig::Deserialize(r);
+  return rec;
+}
+
+Bytes Measurement::Encode() const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.U8(static_cast<uint8_t>(kind));
+  w.Blob(body);
+  sig.Serialize(w);
+  return out;
+}
+
+std::optional<Measurement> Measurement::Decode(const Bytes& payload) {
+  // Defensive parse: a Byzantine proposer can get arbitrary bytes committed,
+  // so truncation must be rejected, not crash the monitor.
+  if (payload.size() < 1 + 4) {
+    return std::nullopt;
+  }
+  ByteReader r(payload);
+  Measurement m;
+  const uint8_t kind = r.U8();
+  if (kind < 1 || kind > 4) {
+    return std::nullopt;
+  }
+  m.kind = static_cast<MeasurementKind>(kind);
+  uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    body_len |= static_cast<uint32_t>(payload[1 + i]) << (8 * i);
+  }
+  if (payload.size() != 1 + 4 + static_cast<size_t>(body_len) + Signature::kWireSize) {
+    return std::nullopt;
+  }
+  m.body = r.Blob();
+  m.sig = Signature::Deserialize(r);
+  return m;
+}
+
+Measurement Measurement::Make(MeasurementKind kind, const Bytes& body,
+                              ReplicaId reporter, const KeyStore& keys) {
+  Measurement m;
+  m.kind = kind;
+  m.body = body;
+  Bytes signing;
+  ByteWriter w(&signing);
+  w.U8(static_cast<uint8_t>(kind));
+  w.Blob(body);
+  m.sig = keys.Sign(reporter, signing);
+  return m;
+}
+
+bool Measurement::VerifySig(const KeyStore& keys) const {
+  Bytes signing;
+  ByteWriter w(&signing);
+  w.U8(static_cast<uint8_t>(kind));
+  w.Blob(body);
+  return keys.Verify(sig, signing);
+}
+
+namespace {
+
+template <typename Rec>
+Bytes SerializeRecord(const Rec& rec) {
+  Bytes body;
+  ByteWriter w(&body);
+  rec.Serialize(w);
+  return body;
+}
+
+}  // namespace
+
+Measurement MakeLatencyMeasurement(const LatencyVectorRecord& rec,
+                                   const KeyStore& keys) {
+  return Measurement::Make(MeasurementKind::kLatencyVector, SerializeRecord(rec),
+                           rec.reporter, keys);
+}
+
+Measurement MakeSuspicionMeasurement(const SuspicionRecord& rec,
+                                     const KeyStore& keys) {
+  return Measurement::Make(MeasurementKind::kSuspicion, SerializeRecord(rec),
+                           rec.suspector, keys);
+}
+
+Measurement MakeComplaintMeasurement(const ComplaintRecord& rec,
+                                     const KeyStore& keys) {
+  return Measurement::Make(MeasurementKind::kComplaint, SerializeRecord(rec),
+                           rec.accuser, keys);
+}
+
+Measurement MakeConfigMeasurement(const ConfigProposalRecord& rec,
+                                  const KeyStore& keys) {
+  return Measurement::Make(MeasurementKind::kConfigProposal, SerializeRecord(rec),
+                           rec.proposer, keys);
+}
+
+}  // namespace optilog

@@ -1,0 +1,167 @@
+// Measurement records appended to the shared log (§4.1).
+//
+// Each record is produced by a sensor, signed by its reporter, proposed via
+// the sensor app, and totally ordered by consensus. Monitors consume them in
+// commit order. The wire encodings below are what Fig. 13 measures:
+//   - latency vectors: 2 bytes per peer (RTT in 100 us units, 0xffff = inf)
+//   - suspicions: fixed ~20 bytes + signature
+//   - complaints: carry a proof (conflicting signed headers, bad QC, ...)
+//   - config proposals: role table + predicted score
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/crypto/quorum_cert.h"
+#include "src/crypto/signature.h"
+#include "src/util/bytes.h"
+
+namespace optilog {
+
+enum class MeasurementKind : uint8_t {
+  kLatencyVector = 1,
+  kSuspicion = 2,
+  kComplaint = 3,
+  kConfigProposal = 4,
+};
+
+// --- Latency vector (§4.2.1) -----------------------------------------------
+
+constexpr uint16_t kRttInfinity = 0xffff;
+
+// Encodes an RTT in ms to the 100 us wire unit, saturating below infinity.
+uint16_t EncodeRttMs(double ms);
+double DecodeRttMs(uint16_t unit);  // returns +inf for kRttInfinity
+
+struct LatencyVectorRecord {
+  ReplicaId reporter = kNoReplica;
+  uint64_t epoch = 0;
+  std::vector<uint16_t> rtt_units;  // index = peer replica id
+
+  void Serialize(ByteWriter& w) const;
+  static LatencyVectorRecord Deserialize(ByteReader& r);
+};
+
+// --- Suspicions (§4.2.3) ----------------------------------------------------
+
+enum class SuspicionType : uint8_t {
+  kSlow = 1,   // <Slow, A d B>
+  kFalse = 2,  // <False, A d B> — reciprocation of B d A
+};
+
+// Protocol phase that triggered the suspicion; used by the monitor to keep
+// only the earliest suspicion per round (§4.2.3 filtering). Values are
+// ordered by causal position in a round.
+enum class PhaseTag : uint8_t {
+  kProposal = 0,   // leader timestamp / Pre-Prepare / tree Propose
+  kForward = 1,    // tree Forwarded Propose
+  kFirstVote = 2,  // Write / tree Vote
+  kSecondVote = 3, // Accept
+  kAggregate = 4,  // tree Aggregated Vote
+};
+
+struct SuspicionRecord {
+  SuspicionType type = SuspicionType::kSlow;
+  ReplicaId suspector = kNoReplica;
+  ReplicaId suspect = kNoReplica;
+  uint64_t round = 0;
+  PhaseTag phase = PhaseTag::kProposal;
+
+  void Serialize(ByteWriter& w) const;
+  static SuspicionRecord Deserialize(ByteReader& r);
+};
+
+// --- Complaints / proof-of-misbehavior (§4.2.2) ----------------------------
+
+enum class MisbehaviorKind : uint8_t {
+  kInvalidSignature = 1,
+  kInvalidQuorumCert = 2,
+  kEquivocation = 3,
+  kInvalidAggregation = 4,  // OptiTree rule: aggregate lacks b+1 votes/suspicions
+};
+
+// A signed protocol header used as evidence inside proofs.
+struct SignedHeader {
+  uint64_t view = 0;
+  Digest digest{};
+  Signature sig;
+
+  void Serialize(ByteWriter& w) const;
+  static SignedHeader Deserialize(ByteReader& r);
+  Bytes SigningBytes() const;
+};
+
+struct ComplaintRecord {
+  ReplicaId accuser = kNoReplica;
+  ReplicaId accused = kNoReplica;
+  MisbehaviorKind kind = MisbehaviorKind::kInvalidSignature;
+  // Evidence. Which fields are meaningful depends on `kind`:
+  //   kEquivocation: two conflicting headers signed by `accused` for the
+  //     same view, plus witness signatures attesting receipt.
+  //   kInvalidSignature: the bad signature + the header it claims to sign.
+  //   kInvalidQuorumCert / kInvalidAggregation: the offending certificate.
+  std::vector<SignedHeader> headers;
+  std::vector<Signature> witness_sigs;
+  std::optional<QuorumCert> cert;
+  uint32_t expected_votes = 0;  // kInvalidAggregation: required b+1 count
+
+  void Serialize(ByteWriter& w) const;
+  static ComplaintRecord Deserialize(ByteReader& r);
+};
+
+// --- Config proposals (§4.2.4) ----------------------------------------------
+
+// A role assignment (§2: "a configuration is an assignment of roles to
+// replicas, which may also encode topology"). `leader` doubles as tree root;
+// `parent` encodes a tree when non-empty; `weight_max` marks Vmax replicas
+// for Aware-style weighted voting.
+struct RoleConfig {
+  ReplicaId leader = 0;
+  std::vector<ReplicaId> parent;      // tree topologies; parent[root] == root
+  std::vector<uint8_t> weight_max;    // weighted voting; 1 = Vmax replica
+
+  bool operator==(const RoleConfig& other) const = default;
+
+  void Serialize(ByteWriter& w) const;
+  static RoleConfig Deserialize(ByteReader& r);
+};
+
+struct ConfigProposalRecord {
+  ReplicaId proposer = kNoReplica;
+  uint64_t epoch = 0;        // candidate-set version this search used
+  double predicted_score = 0.0;
+  RoleConfig config;
+
+  void Serialize(ByteWriter& w) const;
+  static ConfigProposalRecord Deserialize(ByteReader& r);
+};
+
+// --- Envelope ----------------------------------------------------------------
+
+// What actually goes into a log entry payload: kind tag, record body, and
+// the reporter's signature over both.
+struct Measurement {
+  MeasurementKind kind = MeasurementKind::kLatencyVector;
+  Bytes body;
+  Signature sig;
+
+  Bytes Encode() const;
+  static std::optional<Measurement> Decode(const Bytes& payload);
+
+  static Measurement Make(MeasurementKind kind, const Bytes& body,
+                          ReplicaId reporter, const KeyStore& keys);
+  bool VerifySig(const KeyStore& keys) const;
+};
+
+// Convenience constructors that serialize + sign in one step.
+Measurement MakeLatencyMeasurement(const LatencyVectorRecord& rec,
+                                   const KeyStore& keys);
+Measurement MakeSuspicionMeasurement(const SuspicionRecord& rec,
+                                     const KeyStore& keys);
+Measurement MakeComplaintMeasurement(const ComplaintRecord& rec,
+                                     const KeyStore& keys);
+Measurement MakeConfigMeasurement(const ConfigProposalRecord& rec,
+                                  const KeyStore& keys);
+
+}  // namespace optilog

@@ -1,0 +1,161 @@
+#include "src/core/mis.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace optilog {
+namespace {
+
+// Bron–Kerbosch with pivoting over an implicit graph given by an adjacency
+// bitset per vertex. Finds maximum cliques; callers pass the complement of
+// the suspicion graph so cliques are independent sets of the original.
+class BronKerbosch {
+ public:
+  BronKerbosch(const std::vector<std::vector<uint8_t>>& adj, uint64_t max_branches)
+      : adj_(adj), max_branches_(max_branches) {}
+
+  std::vector<uint32_t> Run() {
+    const uint32_t n = static_cast<uint32_t>(adj_.size());
+    std::vector<uint32_t> r, p(n), x;
+    for (uint32_t i = 0; i < n; ++i) {
+      p[i] = i;
+    }
+    Expand(r, p, x);
+    return best_;
+  }
+
+ private:
+  void Expand(std::vector<uint32_t>& r, std::vector<uint32_t> p,
+              std::vector<uint32_t> x) {
+    if (max_branches_ != 0 && branches_ >= max_branches_) {
+      return;
+    }
+    ++branches_;
+    if (p.empty() && x.empty()) {
+      if (r.size() > best_.size()) {
+        best_ = r;
+      }
+      return;
+    }
+    if (r.size() + p.size() <= best_.size()) {
+      return;  // cannot beat the incumbent
+    }
+    // Pivot: vertex of P ∪ X with most neighbors in P (ties: lowest id,
+    // keeping the search deterministic).
+    uint32_t pivot = 0;
+    size_t pivot_score = 0;
+    bool have_pivot = false;
+    for (const auto& pool : {p, x}) {
+      for (uint32_t v : pool) {
+        size_t score = 0;
+        for (uint32_t u : p) {
+          score += adj_[v][u];
+        }
+        if (!have_pivot || score > pivot_score ||
+            (score == pivot_score && v < pivot)) {
+          pivot = v;
+          pivot_score = score;
+          have_pivot = true;
+        }
+      }
+    }
+    // Candidates: P \ N(pivot), iterated in ascending id order.
+    std::vector<uint32_t> candidates;
+    for (uint32_t v : p) {
+      if (!have_pivot || !adj_[pivot][v]) {
+        candidates.push_back(v);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    for (uint32_t v : candidates) {
+      std::vector<uint32_t> p2, x2;
+      for (uint32_t u : p) {
+        if (adj_[v][u]) {
+          p2.push_back(u);
+        }
+      }
+      for (uint32_t u : x) {
+        if (adj_[v][u]) {
+          x2.push_back(u);
+        }
+      }
+      r.push_back(v);
+      Expand(r, std::move(p2), std::move(x2));
+      r.pop_back();
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+      if (max_branches_ != 0 && branches_ >= max_branches_) {
+        return;
+      }
+    }
+  }
+
+  const std::vector<std::vector<uint8_t>>& adj_;
+  const uint64_t max_branches_;
+  uint64_t branches_ = 0;
+  std::vector<uint32_t> best_;
+};
+
+}  // namespace
+
+std::vector<uint32_t> MaximumIndependentSetDense(
+    const std::vector<std::vector<uint8_t>>& adjacency, const MisOptions& opts) {
+  const size_t n = adjacency.size();
+  // Invert: clique in the complement == independent set in the original.
+  std::vector<std::vector<uint8_t>> complement(n, std::vector<uint8_t>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    OL_CHECK(adjacency[i].size() == n);
+    for (size_t j = 0; j < n; ++j) {
+      complement[i][j] = (i != j && !adjacency[i][j]) ? 1 : 0;
+    }
+  }
+  BronKerbosch bk(complement, opts.max_branches);
+  std::vector<uint32_t> best = bk.Run();
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+std::vector<ReplicaId> MaximumIndependentSet(const SuspicionGraph& graph,
+                                             const std::vector<ReplicaId>& vertices,
+                                             const MisOptions& opts) {
+  // Vertices with no incident edge inside `vertices` are independent of
+  // everything: always in the set. Only the touched subgraph needs search.
+  std::vector<ReplicaId> touched;
+  std::vector<ReplicaId> free;
+  for (ReplicaId v : vertices) {
+    bool has_edge = false;
+    for (ReplicaId u : vertices) {
+      if (u != v && graph.HasEdge(u, v)) {
+        has_edge = true;
+        break;
+      }
+    }
+    (has_edge ? touched : free).push_back(v);
+  }
+  if (touched.empty()) {
+    std::sort(free.begin(), free.end());
+    return free;
+  }
+
+  const size_t m = touched.size();
+  std::vector<std::vector<uint8_t>> adj(m, std::vector<uint8_t>(m, 0));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      if (graph.HasEdge(touched[i], touched[j])) {
+        adj[i][j] = adj[j][i] = 1;
+      }
+    }
+  }
+  const std::vector<uint32_t> picked = MaximumIndependentSetDense(adj, opts);
+
+  std::vector<ReplicaId> out = free;
+  for (uint32_t idx : picked) {
+    out.push_back(touched[idx]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace optilog

@@ -1,0 +1,37 @@
+// Maximum independent set for candidate selection (§4.2.3, §7.2).
+//
+// The paper computes a maximum independent set of the suspicion graph with
+// "a heuristic variant of the Bron–Kerbosch algorithm, which detects cliques
+// on the inverted graph". We implement exactly that: Bron–Kerbosch with
+// pivoting over the complement graph, with a branch-count cap that turns the
+// exact algorithm into the heuristic variant for dense/large graphs (the
+// best clique found so far is returned). All tie-breaking is by vertex id,
+// so every replica computes the same set — the determinism requirement of
+// §4.2.3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/graph.h"
+
+namespace optilog {
+
+struct MisOptions {
+  // Maximum Bron–Kerbosch recursive expansions before returning the best
+  // found so far. 0 = unbounded (exact).
+  uint64_t max_branches = 2'000'000;
+};
+
+// Returns the (heuristically) maximum independent set of `graph` restricted
+// to `vertices`. Vertices not touched by any edge are always included. The
+// result is sorted ascending.
+std::vector<ReplicaId> MaximumIndependentSet(const SuspicionGraph& graph,
+                                             const std::vector<ReplicaId>& vertices,
+                                             const MisOptions& opts = {});
+
+// Convenience for tests/benchmarks: adjacency given as a dense matrix.
+std::vector<uint32_t> MaximumIndependentSetDense(
+    const std::vector<std::vector<uint8_t>>& adjacency, const MisOptions& opts = {});
+
+}  // namespace optilog

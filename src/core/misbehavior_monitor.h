@@ -1,0 +1,49 @@
+// MisbehaviorMonitor (§4.2.2): verifies committed complaints and maintains
+// the set F of provably faulty replicas.
+//
+// Verification is deterministic and local (every replica holds the key
+// store), so F is identical on all correct replicas. An *invalid* complaint
+// is itself provable misbehavior: the accuser signed a complaint that does
+// not check out, so the accuser joins F — this is the paper's "invalid ...
+// complaints" detection.
+#pragma once
+
+#include <set>
+
+#include "src/core/measurement.h"
+
+namespace optilog {
+
+class MisbehaviorMonitor {
+ public:
+  MisbehaviorMonitor(uint32_t n, const KeyStore* keys) : n_(n), keys_(keys) {}
+
+  // Called by the sensor app when a complaint commits. `sig_valid` tells
+  // whether the measurement envelope signature checked out (an unsigned
+  // complaint is discarded outright — we cannot attribute it).
+  void OnComplaint(const ComplaintRecord& rec, bool sig_valid);
+
+  // Verifies the evidence inside a complaint. Public so protocols can
+  // pre-check complaints before proposing them.
+  bool VerifyComplaint(const ComplaintRecord& rec) const;
+
+  const std::set<ReplicaId>& faulty() const { return faulty_; }
+  bool IsFaulty(ReplicaId id) const { return faulty_.count(id) > 0; }
+
+  uint64_t complaints_processed() const { return complaints_processed_; }
+  uint64_t complaints_rejected() const { return complaints_rejected_; }
+
+ private:
+  bool VerifyEquivocation(const ComplaintRecord& rec) const;
+  bool VerifyInvalidSignature(const ComplaintRecord& rec) const;
+  bool VerifyInvalidCert(const ComplaintRecord& rec) const;
+  bool VerifyInvalidAggregation(const ComplaintRecord& rec) const;
+
+  uint32_t n_;
+  const KeyStore* keys_;
+  std::set<ReplicaId> faulty_;
+  uint64_t complaints_processed_ = 0;
+  uint64_t complaints_rejected_ = 0;
+};
+
+}  // namespace optilog

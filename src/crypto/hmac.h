@@ -1,0 +1,12 @@
+// HMAC-SHA256 (RFC 2104). Basis of the simulated signature scheme.
+#pragma once
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace optilog {
+
+Digest HmacSha256(const Bytes& key, const Bytes& message);
+Digest HmacSha256(const Bytes& key, const uint8_t* message, size_t len);
+
+}  // namespace optilog

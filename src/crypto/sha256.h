@@ -1,0 +1,51 @@
+// FIPS 180-4 SHA-256, implemented from scratch so the repository has no
+// external crypto dependency. Used for message digests, simulated signature
+// MACs, and deterministic content-addressed block hashes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace optilog {
+
+using Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(const std::string& s) {
+    Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  // Finalizes and returns the digest; the object must be Reset() before
+  // reuse.
+  Digest Finish();
+
+  static Digest Hash(const Bytes& data);
+  static Digest Hash(const std::string& s);
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t h_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buf_[64];
+  size_t buf_len_ = 0;
+};
+
+// Hex encoding for logs and test expectations.
+std::string DigestHex(const Digest& d);
+
+// First 8 bytes of the digest as a little-endian integer; handy as a
+// deterministic hash-map key / state fingerprint.
+uint64_t DigestPrefix64(const Digest& d);
+
+}  // namespace optilog

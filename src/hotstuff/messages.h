@@ -1,0 +1,83 @@
+// Wire messages for the chained HotStuff / Kauri / OptiTree family.
+//
+// Sizes model the real protocols: a proposal carries the batch (batch_size
+// commands of cmd_bytes each), the parent QC, and any piggybacked OptiLog
+// measurements; votes are a digest plus one signature; aggregates carry a
+// partial certificate (bitmap + aggregate signature) plus suspicions for
+// missing children (the §6.3 b+1 rule).
+#pragma once
+
+#include <vector>
+
+#include "src/core/measurement.h"
+#include "src/crypto/quorum_cert.h"
+#include "src/sim/message.h"
+#include "src/sim/time.h"
+
+namespace optilog {
+
+enum HotStuffMsgType {
+  kMsgPropose = 1,
+  kMsgForward = 2,
+  kMsgVote = 3,
+  kMsgAggregate = 4,
+  kMsgProbe = 5,
+  kMsgProbeReply = 6,
+};
+
+struct ProposeMsg : Message {
+  uint64_t view = 0;
+  Digest block{};
+  SimTime timestamp = 0;  // leader's proposal timestamp (§4.2.3)
+  uint32_t batch_size = 0;
+  size_t cmd_bytes = 0;
+  std::vector<Bytes> measurements;  // piggybacked OptiLog records
+  bool forwarded = false;           // true on the intermediate -> leaf hop
+
+  int type() const override { return forwarded ? kMsgForward : kMsgPropose; }
+  size_t WireSize() const override {
+    size_t measurement_bytes = 0;
+    for (const Bytes& m : measurements) {
+      measurement_bytes += m.size() + 4;
+    }
+    // header: view + digest + timestamp + batch count + QC of parent.
+    return 8 + 32 + 8 + 4 + 104 + static_cast<size_t>(batch_size) * cmd_bytes +
+           measurement_bytes;
+  }
+  std::string Name() const override { return forwarded ? "Forward" : "Propose"; }
+};
+
+struct VoteMsg : Message {
+  uint64_t view = 0;
+  Digest block{};
+  Signature sig;
+
+  int type() const override { return kMsgVote; }
+  size_t WireSize() const override { return 8 + 32 + Signature::kWireSize; }
+  std::string Name() const override { return "Vote"; }
+};
+
+struct AggregateMsg : Message {
+  uint64_t view = 0;
+  Digest block{};
+  std::vector<ReplicaId> voters;               // children (and self) that voted
+  std::vector<SuspicionRecord> missing;        // suspicions for absent children
+  bool corrupt = false;                        // Byzantine aggregator artifact
+
+  int type() const override { return kMsgAggregate; }
+  size_t WireSize() const override {
+    return 8 + 32 + 4 + 4 * voters.size() + kSignatureSize + 20 * missing.size();
+  }
+  std::string Name() const override { return "Aggregate"; }
+};
+
+struct ProbeMsg : Message {
+  uint64_t nonce = 0;
+  bool reply = false;
+
+  int type() const override { return reply ? kMsgProbeReply : kMsgProbe; }
+  size_t WireSize() const override { return 16; }
+  std::string Name() const override { return reply ? "ProbeReply" : "Probe"; }
+};
+
+}  // namespace optilog

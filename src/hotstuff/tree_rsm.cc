@@ -1,0 +1,341 @@
+#include "src/hotstuff/tree_rsm.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace optilog {
+namespace {
+
+Digest BlockDigest(uint64_t view) {
+  Bytes seed;
+  ByteWriter w(&seed);
+  w.U64(view);
+  w.Str("block");
+  return Sha256::Hash(seed);
+}
+
+}  // namespace
+
+// --- TreeReplica -------------------------------------------------------------
+
+void TreeReplica::OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) {
+  switch (msg->type()) {
+    case kMsgPropose:
+    case kMsgForward:
+      HandlePropose(from, static_cast<const ProposeMsg&>(*msg), at);
+      break;
+    case kMsgVote:
+      HandleVote(from, static_cast<const VoteMsg&>(*msg));
+      break;
+    case kMsgAggregate:
+      HandleAggregate(from, static_cast<const AggregateMsg&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void TreeReplica::HandlePropose(ReplicaId from, const ProposeMsg& msg, SimTime at) {
+  (void)from;
+  (void)at;
+  const TreeTopology& tree = harness_->tree_;
+  if (!tree.Contains(id_) || tree.IsRoot(id_)) {
+    return;
+  }
+  const std::vector<ReplicaId>& children = tree.ChildrenOf(id_);
+  if (children.empty()) {
+    // Leaf: vote straight to the parent.
+    auto vote = std::make_shared<VoteMsg>();
+    vote->view = msg.view;
+    vote->block = msg.block;
+    vote->sig = harness_->keys_->Sign(id_, msg.block);
+    harness_->net_->Send(id_, tree.ParentOf(id_), std::move(vote));
+    return;
+  }
+  // Intermediate: forward down, start aggregating with own vote, and arm
+  // the aggregation timer (Lagg per Lemma 6, scaled by delta).
+  auto fwd = std::make_shared<ProposeMsg>(msg);
+  fwd->forwarded = true;
+  fwd->measurements.clear();  // measurements ride only the first hop
+  for (ReplicaId child : children) {
+    harness_->net_->Send(id_, child, fwd);
+  }
+  PendingAggregation& agg = aggregating_[msg.view];
+  agg.block = msg.block;
+  agg.votes.insert(id_);
+  // Aggregation latency only waits for children expected to respond.
+  double lagg_ms = 0.0;
+  for (ReplicaId child : children) {
+    if (harness_->excluded_.count(child) == 0) {
+      lagg_ms = std::max(lagg_ms, harness_->latency_->Rtt(id_, child));
+    }
+  }
+  const SimTime deadline =
+      static_cast<SimTime>(harness_->opts_.delta *
+                           static_cast<double>(FromMs(lagg_ms))) +
+      harness_->opts_.aggregation_slack;
+  const uint64_t view = msg.view;
+  agg.timer = harness_->sim_->ScheduleAfter(
+      deadline, [this, view] { MaybeSendAggregate(view); });
+}
+
+void TreeReplica::HandleVote(ReplicaId from, const VoteMsg& msg) {
+  const TreeTopology& tree = harness_->tree_;
+  if (tree.IsRoot(id_)) {
+    harness_->OnRootVotes(msg.view, msg.block, {from});
+    return;
+  }
+  auto it = aggregating_.find(msg.view);
+  if (it == aggregating_.end() || it->second.sent) {
+    return;
+  }
+  it->second.votes.insert(from);
+  // All responsive children + self accounted for: aggregate early.
+  size_t expected = 1;
+  for (ReplicaId child : tree.ChildrenOf(id_)) {
+    if (harness_->excluded_.count(child) == 0) {
+      ++expected;
+    }
+  }
+  if (it->second.votes.size() >= expected) {
+    MaybeSendAggregate(msg.view);
+  }
+}
+
+void TreeReplica::MaybeSendAggregate(uint64_t view) {
+  auto it = aggregating_.find(view);
+  if (it == aggregating_.end() || it->second.sent) {
+    return;
+  }
+  PendingAggregation& agg = it->second;
+  agg.sent = true;
+  harness_->sim_->Cancel(agg.timer);
+
+  const TreeTopology& tree = harness_->tree_;
+  auto msg = std::make_shared<AggregateMsg>();
+  msg->view = view;
+  msg->block = agg.block;
+  msg->voters.assign(agg.votes.begin(), agg.votes.end());
+  // §6.3 rule: the aggregate must cover b + 1 votes or suspicions; missing
+  // children are suspected explicitly. Already-excluded children are known
+  // unresponsive; re-suspecting them every round adds nothing.
+  for (ReplicaId child : tree.ChildrenOf(id_)) {
+    if (harness_->excluded_.count(child) > 0) {
+      continue;
+    }
+    if (agg.votes.count(child) == 0) {
+      SuspicionRecord rec;
+      rec.type = SuspicionType::kSlow;
+      rec.suspector = id_;
+      rec.suspect = child;
+      rec.round = view;
+      rec.phase = PhaseTag::kFirstVote;
+      msg->missing.push_back(rec);
+      harness_->RecordSuspicion(rec);
+    }
+  }
+  harness_->net_->Send(id_, tree.ParentOf(id_), std::move(msg));
+}
+
+void TreeReplica::HandleAggregate(ReplicaId from, const AggregateMsg& msg) {
+  (void)from;
+  const TreeTopology& tree = harness_->tree_;
+  if (!tree.IsRoot(id_)) {
+    return;
+  }
+  harness_->OnRootVotes(msg.view, msg.block, msg.voters);
+  for (const SuspicionRecord& rec : msg.missing) {
+    harness_->RecordSuspicion(rec);
+  }
+}
+
+// --- TreeRsm -----------------------------------------------------------------
+
+TreeRsm::TreeRsm(Simulator* sim, Network* net, const KeyStore* keys,
+                 const LatencyMatrix* latency, TreeRsmOptions opts)
+    : sim_(sim), net_(net), keys_(keys), latency_(latency), opts_(opts) {
+  OL_CHECK(opts_.n >= 4);
+  replicas_.reserve(opts_.n);
+  for (ReplicaId id = 0; id < opts_.n; ++id) {
+    replicas_.push_back(std::make_unique<TreeReplica>(id, this));
+    net_->Register(id, replicas_.back().get());
+  }
+}
+
+void TreeRsm::SetTopology(const TreeTopology& tree) {
+  tree_ = tree;
+  for (auto& replica : replicas_) {
+    replica->aggregating_.clear();
+  }
+}
+
+uint32_t TreeRsm::CommitThreshold() const {
+  return opts_.votes_required != 0 ? opts_.votes_required : opts_.n - opts_.f;
+}
+
+SimTime TreeRsm::RoundTimeout() const {
+  const double d_rnd_ms =
+      TreeScore(tree_, *latency_, CommitThreshold());
+  if (!std::isfinite(d_rnd_ms)) {
+    return 2 * kSec + opts_.timeout_slack;
+  }
+  return static_cast<SimTime>(opts_.delta * static_cast<double>(FromMs(d_rnd_ms))) +
+         opts_.timeout_slack;
+}
+
+void TreeRsm::Start() {
+  started_ = true;
+  for (uint32_t i = 0; i < opts_.pipeline_depth; ++i) {
+    StartRound();
+  }
+}
+
+void TreeRsm::PauseProposals(SimTime duration) {
+  paused_ = true;
+  sim_->ScheduleAfter(duration, [this] {
+    paused_ = false;
+    while (in_flight_ < opts_.pipeline_depth) {
+      StartRound();
+    }
+  });
+}
+
+void TreeRsm::StartRound() {
+  if (!started_ || paused_ || in_flight_ >= opts_.pipeline_depth) {
+    return;
+  }
+  const uint64_t view = next_view_++;
+  if (opts_.rotate_root) {
+    // HotStuff-rr: star re-rooted every view.
+    std::vector<ReplicaId> leaves;
+    for (ReplicaId id = 0; id < opts_.n; ++id) {
+      if (id != view % opts_.n) {
+        leaves.push_back(id);
+      }
+    }
+    tree_ = TreeTopology::Build({static_cast<ReplicaId>(view % opts_.n)}, leaves);
+  }
+  ++in_flight_;
+
+  Round& round = rounds_[view];
+  round.block = BlockDigest(view);
+  round.proposed_at = sim_->now();
+  round.votes.insert(tree_.root());  // the root's own vote is free
+
+  auto propose = std::make_shared<ProposeMsg>();
+  propose->view = view;
+  propose->block = round.block;
+  propose->timestamp = sim_->now();
+  propose->batch_size = opts_.batch_size;
+  propose->cmd_bytes = opts_.cmd_bytes;
+  for (ReplicaId child : tree_.ChildrenOf(tree_.root())) {
+    net_->Send(tree_.root(), child, propose);
+  }
+
+  round.timeout = sim_->ScheduleAfter(RoundTimeout(), [this, view] {
+    OnRoundTimeout(view);
+  });
+}
+
+void TreeRsm::OnRootVotes(uint64_t view, Digest block,
+                          const std::vector<ReplicaId>& voters) {
+  auto it = rounds_.find(view);
+  if (it == rounds_.end() || it->second.committed || it->second.failed) {
+    return;
+  }
+  Round& round = it->second;
+  if (block != round.block) {
+    return;
+  }
+  for (ReplicaId v : voters) {
+    round.votes.insert(v);
+  }
+  if (round.votes.size() >= CommitThreshold()) {
+    CommitRound(view);
+  }
+}
+
+void TreeRsm::CommitRound(uint64_t view) {
+  Round& round = rounds_[view];
+  round.committed = true;
+  sim_->Cancel(round.timeout);
+  ++committed_blocks_;
+  throughput_.RecordCommit(sim_->now(), opts_.batch_size);
+  latency_rec_.Record(round.proposed_at, sim_->now());
+  --in_flight_;
+  StartRound();
+  // Bound memory in long runs.
+  while (rounds_.size() > 4 * opts_.pipeline_depth + 16) {
+    rounds_.erase(rounds_.begin());
+  }
+}
+
+void TreeRsm::OnRoundTimeout(uint64_t view) {
+  auto it = rounds_.find(view);
+  if (it == rounds_.end() || it->second.committed || it->second.failed) {
+    return;
+  }
+  Round& round = it->second;
+  round.failed = true;
+  ++failed_rounds_;
+  --in_flight_;
+
+  // Suspicions from the root against silent subtrees (condition (b)); if the
+  // root itself is the problem, intermediates suspect it (condition (a) — no
+  // proposal timestamp within delta * d_rnd).
+  if (!net_->faults()->IsCrashedAt(tree_.root(), sim_->now())) {
+    for (ReplicaId child : tree_.ChildrenOf(tree_.root())) {
+      if (round.votes.count(child) == 0) {
+        SuspicionRecord rec;
+        rec.type = SuspicionType::kSlow;
+        rec.suspector = tree_.root();
+        rec.suspect = child;
+        rec.round = view;
+        rec.phase = PhaseTag::kAggregate;
+        RecordSuspicion(rec);
+      }
+    }
+  } else {
+    for (ReplicaId inter : tree_.intermediates()) {
+      SuspicionRecord rec;
+      rec.type = SuspicionType::kSlow;
+      rec.suspector = inter;
+      rec.suspect = tree_.root();
+      rec.round = view;
+      rec.phase = PhaseTag::kProposal;
+      RecordSuspicion(rec);
+    }
+  }
+
+  if (reconfig_) {
+    std::optional<TreeTopology> next = reconfig_(*this);
+    if (next.has_value()) {
+      ++reconfigurations_;
+      SetTopology(*next);
+      // Abandon in-flight rounds on the dead tree.
+      for (auto& [v, r] : rounds_) {
+        if (!r.committed && !r.failed) {
+          r.failed = true;
+          sim_->Cancel(r.timeout);
+          if (in_flight_ > 0) {
+            --in_flight_;
+          }
+        }
+      }
+    }
+  }
+  while (in_flight_ < opts_.pipeline_depth) {
+    const uint32_t before = in_flight_;
+    StartRound();
+    if (in_flight_ == before) {
+      break;  // paused or not started
+    }
+  }
+}
+
+void TreeRsm::RecordSuspicion(const SuspicionRecord& rec) {
+  suspicions_.push_back(rec);
+}
+
+}  // namespace optilog

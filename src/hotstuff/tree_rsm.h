@@ -1,0 +1,178 @@
+// Message-level simulation of the chained HotStuff family over an arbitrary
+// dissemination tree (§6, §7.3):
+//
+//   - star of depth 1  -> HotStuff (fixed or round-robin leader)
+//   - height-3 tree    -> Kauri / OptiTree
+//
+// Round flow: the root timestamps and disseminates a proposal down the tree;
+// leaves vote to their parent; intermediates aggregate (b + 1 votes or
+// suspicions, §6.3) and forward to the root; the root commits when it holds
+// k votes (k = q for the baselines, q restricted by u for OptiTree) and
+// starts the next round. Pipelining keeps `pipeline_depth` rounds in flight
+// (§6.1.1). A round that misses its timeout fails the configuration; the
+// harness then asks its reconfiguration policy for the next tree.
+//
+// OptiLog integration: replicas carry a suspicion sensor fed with the
+// timeout requirements of Lemma 6; emitted suspicions are delivered to
+// every replica's monitor in commit order via the harness's measurement
+// bus (dissemination through the log is abstracted to one commit boundary,
+// see DESIGN.md).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "src/core/pipeline.h"
+#include "src/hotstuff/messages.h"
+#include "src/net/network.h"
+#include "src/rsm/metrics.h"
+#include "src/tree/topology.h"
+#include "src/tree/tree_score.h"
+
+namespace optilog {
+
+struct TreeRsmOptions {
+  uint32_t n = 0;
+  uint32_t f = 0;
+  uint32_t batch_size = 1000;  // commands per block (§7.3)
+  size_t cmd_bytes = 100;      // proposals "without transaction payload"
+  uint32_t pipeline_depth = 1; // concurrent instances (3 with pipelining)
+  double delta = 1.0;          // timing slack multiplier
+  // Votes required to commit: 0 -> q = n - f. OptiTree adds u dynamically.
+  uint32_t votes_required = 0;
+  // Extra slack on the root's round-failure timer, beyond delta * d_rnd.
+  SimTime timeout_slack = 200 * kMsec;
+  // Extra slack on intermediates' aggregation timers beyond delta * Lagg.
+  // The latency matrix records pure propagation, but real rounds also pay
+  // serialization; without slack the slowest child's vote always misses the
+  // aggregate by a hair.
+  SimTime aggregation_slack = 50 * kMsec;
+  // Round-robin leader rotation (HotStuff-rr baseline). Only meaningful for
+  // star topologies.
+  bool rotate_root = false;
+  bool enable_suspicion_sensor = false;
+};
+
+class TreeRsm;
+
+// A replica in the tree protocol. Honest behavior only; Byzantine timing
+// behavior is injected by the network fault model, crash faults by the
+// harness.
+class TreeReplica : public Actor {
+ public:
+  TreeReplica(ReplicaId id, TreeRsm* harness) : id_(id), harness_(harness) {}
+
+  void OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) override;
+
+  ReplicaId id() const { return id_; }
+
+ private:
+  friend class TreeRsm;
+
+  void HandlePropose(ReplicaId from, const ProposeMsg& msg, SimTime at);
+  void HandleVote(ReplicaId from, const VoteMsg& msg);
+  void HandleAggregate(ReplicaId from, const AggregateMsg& msg);
+
+  struct PendingAggregation {
+    Digest block{};
+    std::set<ReplicaId> votes;
+    bool sent = false;
+    EventId timer = kNoEvent;
+  };
+
+  void MaybeSendAggregate(uint64_t view);
+
+  const ReplicaId id_;
+  TreeRsm* harness_;
+  std::map<uint64_t, PendingAggregation> aggregating_;
+};
+
+class TreeRsm {
+ public:
+  // Reconfiguration policy: returns the next tree after a failure, or
+  // nullopt to keep the current one (e.g. star fallback already active).
+  using ReconfigPolicy = std::function<std::optional<TreeTopology>(TreeRsm&)>;
+
+  TreeRsm(Simulator* sim, Network* net, const KeyStore* keys,
+          const LatencyMatrix* latency, TreeRsmOptions opts);
+
+  void SetTopology(const TreeTopology& tree);
+  void SetReconfigPolicy(ReconfigPolicy policy) { reconfig_ = std::move(policy); }
+
+  // Replicas the candidate machinery considers unresponsive (crashed set C
+  // plus non-candidates): intermediates stop waiting for their votes and
+  // suspect them silently — the protocol-level effect of OptiLog's u
+  // estimate (§6.2).
+  void SetExcluded(std::set<ReplicaId> excluded) { excluded_ = std::move(excluded); }
+  const std::set<ReplicaId>& excluded() const { return excluded_; }
+
+  // Pauses proposals for `duration` (models the search window of Fig. 15).
+  void PauseProposals(SimTime duration);
+
+  void Start();
+
+  const TreeTopology& topology() const { return tree_; }
+  const TreeRsmOptions& options() const { return opts_; }
+  Simulator* sim() { return sim_; }
+  Network* net() { return net_; }
+
+  const ThroughputRecorder& throughput() const { return throughput_; }
+  const LatencyRecorder& latency_rec() const { return latency_rec_; }
+  uint64_t committed_blocks() const { return committed_blocks_; }
+  uint64_t failed_rounds() const { return failed_rounds_; }
+  uint64_t reconfigurations() const { return reconfigurations_; }
+  const std::vector<SuspicionRecord>& logged_suspicions() const {
+    return suspicions_;
+  }
+
+  // Votes needed to commit a block under the current settings.
+  uint32_t CommitThreshold() const;
+
+ private:
+  friend class TreeReplica;
+
+  struct Round {
+    Digest block{};
+    SimTime proposed_at = 0;
+    std::set<ReplicaId> votes;
+    bool committed = false;
+    bool failed = false;
+    EventId timeout = kNoEvent;
+  };
+
+  void StartRound();
+  void OnRootVotes(uint64_t view, Digest block, const std::vector<ReplicaId>& voters);
+  void CommitRound(uint64_t view);
+  void OnRoundTimeout(uint64_t view);
+  void RecordSuspicion(const SuspicionRecord& rec);
+  SimTime RoundTimeout() const;
+
+  Simulator* sim_;
+  Network* net_;
+  const KeyStore* keys_;
+  const LatencyMatrix* latency_;
+  TreeRsmOptions opts_;
+  TreeTopology tree_;
+  ReconfigPolicy reconfig_;
+
+  std::vector<std::unique_ptr<TreeReplica>> replicas_;
+  std::set<ReplicaId> excluded_;
+  std::map<uint64_t, Round> rounds_;
+  uint64_t next_view_ = 0;
+  uint32_t in_flight_ = 0;
+  bool paused_ = false;
+  bool started_ = false;
+
+  ThroughputRecorder throughput_;
+  LatencyRecorder latency_rec_;
+  uint64_t committed_blocks_ = 0;
+  uint64_t failed_rounds_ = 0;
+  uint64_t reconfigurations_ = 0;
+  std::vector<SuspicionRecord> suspicions_;
+};
+
+}  // namespace optilog

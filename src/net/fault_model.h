@@ -1,0 +1,82 @@
+// Per-replica Byzantine behavior knobs consumed by the Network and by
+// protocol implementations. The fault model is configuration, not mechanism:
+// protocols query it to decide whether to misbehave; the network queries it
+// to perturb deliveries. Correct replicas have the default-constructed
+// behavior.
+#pragma once
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/crypto/signature.h"
+#include "src/sim/time.h"
+
+namespace optilog {
+
+struct ReplicaFaults {
+  // Replica stops sending and receiving at this time (crash fault).
+  SimTime crash_at = std::numeric_limits<SimTime>::max();
+
+  // Outbound messages are delayed by this multiplicative factor (timing
+  // fault; 1.0 = honest). Fig. 11's attackers use 1.1 / 1.2 / 1.4.
+  double outbound_delay_factor = 1.0;
+
+  // Additional fixed delay applied to outbound *proposal* messages only —
+  // the Pre-Prepare delay attack of Fig. 7.
+  SimTime proposal_delay = 0;
+
+  // Responds to probe messages honestly but delays protocol messages — the
+  // "fast probes, slow protocol" attacker Aware cannot detect (§5).
+  bool fast_probes = false;
+
+  // Emits signatures that fail verification (provable misbehavior).
+  bool invalid_signatures = false;
+
+  // Sends conflicting proposals to different peers (equivocation).
+  bool equivocate = false;
+
+  // Reports an under-stated latency vector (scaled by this factor, <1).
+  double latency_report_factor = 1.0;
+
+  // Raises false ⟨Slow⟩ suspicions against these replicas (targeted
+  // suspicion attack of §7.5).
+  std::vector<ReplicaId> false_suspicion_targets;
+
+  bool IsByzantine() const {
+    return crash_at != std::numeric_limits<SimTime>::max() ||
+           outbound_delay_factor != 1.0 || proposal_delay != 0 || fast_probes ||
+           invalid_signatures || equivocate || latency_report_factor != 1.0 ||
+           !false_suspicion_targets.empty();
+  }
+};
+
+class FaultModel {
+ public:
+  const ReplicaFaults& Of(ReplicaId id) const {
+    static const ReplicaFaults kHonest;
+    auto it = faults_.find(id);
+    return it == faults_.end() ? kHonest : it->second;
+  }
+
+  ReplicaFaults& Mutable(ReplicaId id) { return faults_[id]; }
+
+  bool IsCrashedAt(ReplicaId id, SimTime now) const {
+    return now >= Of(id).crash_at;
+  }
+
+  size_t num_byzantine() const {
+    size_t count = 0;
+    for (const auto& [id, f] : faults_) {
+      if (f.IsByzantine()) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+ private:
+  std::unordered_map<ReplicaId, ReplicaFaults> faults_;
+};
+
+}  // namespace optilog

@@ -1,0 +1,32 @@
+#include "src/net/latency_model.h"
+
+namespace optilog {
+
+GeoLatencyModel::GeoLatencyModel(std::vector<City> cities)
+    : cities_(std::move(cities)) {
+  const size_t n = cities_.size();
+  one_way_.assign(n, std::vector<SimTime>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;
+      }
+      // One-way is half the modeled RTT.
+      one_way_[i][j] = FromMs(CityRttMs(cities_[i], cities_[j]) / 2.0);
+    }
+  }
+}
+
+SimTime GeoLatencyModel::OneWay(ReplicaId from, ReplicaId to) const {
+  OL_CHECK(from < one_way_.size() && to < one_way_.size());
+  return one_way_[from][to];
+}
+
+MatrixLatencyModel::MatrixLatencyModel(size_t n, SimTime one_way) {
+  one_way_.assign(n, std::vector<SimTime>(n, one_way));
+  for (size_t i = 0; i < n; ++i) {
+    one_way_[i][i] = 0;
+  }
+}
+
+}  // namespace optilog

@@ -1,0 +1,64 @@
+// Link-latency models for the simulated network.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/crypto/signature.h"
+#include "src/net/geo.h"
+#include "src/sim/time.h"
+#include "src/util/check.h"
+
+namespace optilog {
+
+// Maps (sender, receiver) to a one-way delay. Implementations must be
+// symmetric for correct replicas; Byzantine perturbation is layered on top
+// by the Network's fault model, not here.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual SimTime OneWay(ReplicaId from, ReplicaId to) const = 0;
+  SimTime Rtt(ReplicaId a, ReplicaId b) const { return OneWay(a, b) + OneWay(b, a); }
+};
+
+// Latencies derived from a city assignment (replica i lives in cities[i]).
+class GeoLatencyModel : public LatencyModel {
+ public:
+  explicit GeoLatencyModel(std::vector<City> cities);
+
+  SimTime OneWay(ReplicaId from, ReplicaId to) const override;
+
+  size_t size() const { return cities_.size(); }
+  const City& city(ReplicaId id) const { return cities_.at(id); }
+  const std::vector<City>& cities() const { return cities_; }
+
+ private:
+  std::vector<City> cities_;
+  std::vector<std::vector<SimTime>> one_way_;
+};
+
+// Explicit one-way latency matrix (microseconds); used by unit tests and by
+// scenario builders that need full control.
+class MatrixLatencyModel : public LatencyModel {
+ public:
+  explicit MatrixLatencyModel(std::vector<std::vector<SimTime>> one_way)
+      : one_way_(std::move(one_way)) {}
+
+  // Uniform all-pairs latency.
+  MatrixLatencyModel(size_t n, SimTime one_way);
+
+  SimTime OneWay(ReplicaId from, ReplicaId to) const override {
+    OL_CHECK(from < one_way_.size() && to < one_way_.size());
+    return one_way_[from][to];
+  }
+
+  void Set(ReplicaId a, ReplicaId b, SimTime one_way) {
+    one_way_[a][b] = one_way;
+    one_way_[b][a] = one_way;
+  }
+
+ private:
+  std::vector<std::vector<SimTime>> one_way_;
+};
+
+}  // namespace optilog

@@ -1,0 +1,77 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+
+namespace optilog {
+
+SimTime Network::DeliveryDelay(ReplicaId from, ReplicaId to,
+                               const Message& msg) const {
+  SimTime delay = latency_->OneWay(from, to);
+  const ReplicaFaults& f = faults_->Of(from);
+  const bool is_probe = is_probe_ && is_probe_(msg);
+  if (f.outbound_delay_factor != 1.0 && !(f.fast_probes && is_probe)) {
+    delay = static_cast<SimTime>(static_cast<double>(delay) * f.outbound_delay_factor);
+  }
+  if (f.proposal_delay > 0 && is_proposal_ && is_proposal_(msg)) {
+    delay += f.proposal_delay;
+  }
+  return delay;
+}
+
+SimTime Network::OccupyUplink(ReplicaId from, size_t bytes) {
+  if (bandwidth_bps_ <= 0.0) {
+    return sim_->now();
+  }
+  const SimTime serialize =
+      static_cast<SimTime>(static_cast<double>(bytes) * 8.0 / bandwidth_bps_ * kSec);
+  SimTime& free_at = uplink_free_at_[from];
+  const SimTime start = std::max(free_at, sim_->now());
+  free_at = start + serialize;
+  return free_at;
+}
+
+void Network::Send(ReplicaId from, ReplicaId to, MessagePtr msg) {
+  if (faults_->IsCrashedAt(from, sim_->now())) {
+    return;
+  }
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg->WireSize();
+  const SimTime sent_at = OccupyUplink(from, msg->WireSize());
+  const SimTime delay = (sent_at - sim_->now()) + DeliveryDelay(from, to, *msg);
+  sim_->ScheduleAfter(delay, [this, from, to, msg = std::move(msg)] {
+    if (faults_->IsCrashedAt(to, sim_->now())) {
+      return;
+    }
+    auto it = actors_.find(to);
+    if (it == actors_.end()) {
+      return;
+    }
+    ++stats_.messages_delivered;
+    it->second->OnMessage(from, msg, sim_->now());
+  });
+}
+
+void Network::Multicast(ReplicaId from, const std::vector<ReplicaId>& to,
+                        MessagePtr msg) {
+  for (ReplicaId dest : to) {
+    if (dest == from) {
+      SendSelf(from, msg);
+    } else {
+      Send(from, dest, msg);
+    }
+  }
+}
+
+void Network::SendSelf(ReplicaId id, MessagePtr msg) {
+  if (faults_->IsCrashedAt(id, sim_->now())) {
+    return;
+  }
+  sim_->ScheduleAfter(0, [this, id, msg = std::move(msg)] {
+    auto it = actors_.find(id);
+    if (it != actors_.end()) {
+      it->second->OnMessage(id, msg, sim_->now());
+    }
+  });
+}
+
+}  // namespace optilog

@@ -1,0 +1,84 @@
+// Simulated message-passing network.
+//
+// Send() schedules a delivery event at now + one_way(from, to), perturbed by
+// the sender's fault model: crashed senders send nothing, delay-attackers
+// get a multiplicative factor, and proposal-delay attackers add a fixed
+// offset to messages flagged as proposals. Receivers that have crashed drop
+// deliveries. Per the system model (§2), an adversary cannot delay traffic
+// between two correct replicas, so only *sender-side* faults perturb links.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/fault_model.h"
+#include "src/net/latency_model.h"
+#include "src/sim/actor.h"
+#include "src/sim/simulator.h"
+
+namespace optilog {
+
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, const LatencyModel* latency, const FaultModel* faults)
+      : sim_(sim), latency_(latency), faults_(faults) {}
+
+  void Register(ReplicaId id, Actor* actor) { actors_[id] = actor; }
+
+  // Per-replica outbound bandwidth in bits/s. 0 disables serialization
+  // delay. Multicasts serialize one copy per recipient, which is what makes
+  // a star leader the bottleneck that tree overlays (Kauri, §6.1.1) remove.
+  void SetBandwidthBps(double bps) { bandwidth_bps_ = bps; }
+  double bandwidth_bps() const { return bandwidth_bps_; }
+
+  // Classification hook: messages for which this returns true receive the
+  // sender's proposal_delay. Protocols set it to match their Propose /
+  // Pre-Prepare type.
+  void SetProposalClassifier(std::function<bool(const Message&)> fn) {
+    is_proposal_ = std::move(fn);
+  }
+
+  // Probe classifier: messages for which this returns true are NOT slowed by
+  // fast_probes attackers (they answer probes promptly to look good).
+  void SetProbeClassifier(std::function<bool(const Message&)> fn) {
+    is_probe_ = std::move(fn);
+  }
+
+  void Send(ReplicaId from, ReplicaId to, MessagePtr msg);
+  void Multicast(ReplicaId from, const std::vector<ReplicaId>& to, MessagePtr msg);
+
+  // Loopback with zero delay; used by protocols that treat self-messages
+  // uniformly.
+  void SendSelf(ReplicaId id, MessagePtr msg);
+
+  const NetworkStats& stats() const { return stats_; }
+  Simulator* sim() { return sim_; }
+  const LatencyModel* latency() const { return latency_; }
+  const FaultModel* faults() const { return faults_; }
+
+ private:
+  SimTime DeliveryDelay(ReplicaId from, ReplicaId to, const Message& msg) const;
+
+  // Time the sender's NIC finishes serializing this message; advances the
+  // per-sender busy horizon.
+  SimTime OccupyUplink(ReplicaId from, size_t bytes);
+
+  Simulator* sim_;
+  const LatencyModel* latency_;
+  const FaultModel* faults_;
+  std::unordered_map<ReplicaId, Actor*> actors_;
+  std::unordered_map<ReplicaId, SimTime> uplink_free_at_;
+  double bandwidth_bps_ = 0.0;
+  std::function<bool(const Message&)> is_proposal_;
+  std::function<bool(const Message&)> is_probe_;
+  NetworkStats stats_;
+};
+
+}  // namespace optilog

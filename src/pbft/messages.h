@@ -1,0 +1,87 @@
+// Wire messages for the PBFT / BFT-SMaRt / Aware family (§5, §7.1).
+// Aware names: Propose / Write / Accept == PBFT's Pre-Prepare / Prepare /
+// Commit. Sizes model BFT-SMaRt's MAC-vector-free signed messages.
+#pragma once
+
+#include <vector>
+
+#include "src/crypto/signature.h"
+#include "src/sim/message.h"
+#include "src/sim/time.h"
+
+namespace optilog {
+
+enum PbftMsgType {
+  kMsgRequest = 10,
+  kMsgPrePrepare = 11,
+  kMsgWrite = 12,
+  kMsgAccept = 13,
+  kMsgReply = 14,
+  kMsgPbftProbe = 15,
+  kMsgPbftProbeReply = 16,
+};
+
+struct RequestMsg : Message {
+  ReplicaId client = kNoReplica;
+  uint64_t request_id = 0;
+  SimTime sent_at = 0;
+  size_t payload_bytes = 0;
+
+  int type() const override { return kMsgRequest; }
+  size_t WireSize() const override { return 24 + payload_bytes + kSignatureSize; }
+  std::string Name() const override { return "Request"; }
+};
+
+struct RequestRef {
+  ReplicaId client = kNoReplica;
+  uint64_t request_id = 0;
+  SimTime sent_at = 0;
+};
+
+struct PrePrepareMsg : Message {
+  uint64_t seq = 0;
+  ReplicaId leader = kNoReplica;
+  SimTime timestamp = 0;  // leader's proposal timestamp (§4.2.3)
+  std::vector<RequestRef> batch;
+  std::vector<Bytes> measurements;  // piggybacked OptiLog records
+
+  int type() const override { return kMsgPrePrepare; }
+  size_t WireSize() const override {
+    size_t measurement_bytes = 0;
+    for (const Bytes& m : measurements) {
+      measurement_bytes += m.size() + 4;
+    }
+    return 8 + 4 + 8 + 16 * batch.size() + measurement_bytes + kSignatureSize;
+  }
+  std::string Name() const override { return "PrePrepare"; }
+};
+
+struct PhaseMsg : Message {  // Write or Accept
+  bool accept = false;
+  uint64_t seq = 0;
+  Digest digest{};
+
+  int type() const override { return accept ? kMsgAccept : kMsgWrite; }
+  size_t WireSize() const override { return 8 + 32 + kSignatureSize; }
+  std::string Name() const override { return accept ? "Accept" : "Write"; }
+};
+
+struct ReplyMsg : Message {
+  uint64_t request_id = 0;
+  uint64_t seq = 0;
+
+  int type() const override { return kMsgReply; }
+  size_t WireSize() const override { return 16 + kSignatureSize; }
+  std::string Name() const override { return "Reply"; }
+};
+
+struct PbftProbeMsg : Message {
+  uint64_t nonce = 0;
+  bool reply = false;
+
+  int type() const override { return reply ? kMsgPbftProbeReply : kMsgPbftProbe; }
+  size_t WireSize() const override { return 16; }
+  std::string Name() const override { return reply ? "ProbeReply" : "Probe"; }
+};
+
+}  // namespace optilog

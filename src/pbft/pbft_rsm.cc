@@ -1,0 +1,431 @@
+#include "src/pbft/pbft_rsm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace optilog {
+namespace {
+
+Digest BatchDigest(uint64_t seq, const std::vector<RequestRef>& batch) {
+  Bytes seed;
+  ByteWriter w(&seed);
+  w.U64(seq);
+  for (const RequestRef& r : batch) {
+    w.U32(r.client);
+    w.U64(r.request_id);
+  }
+  return Sha256::Hash(seed);
+}
+
+}  // namespace
+
+// --- PbftReplica -------------------------------------------------------------
+
+void PbftReplica::OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) {
+  switch (msg->type()) {
+    case kMsgRequest: {
+      const auto& req = static_cast<const RequestMsg&>(*msg);
+      if (id_ == harness_->config_.leader) {
+        harness_->SubmitRequest(
+            RequestRef{req.client, req.request_id, req.sent_at});
+      }
+      break;
+    }
+    case kMsgPrePrepare:
+      HandlePrePrepare(from, static_cast<const PrePrepareMsg&>(*msg), at);
+      break;
+    case kMsgWrite:
+    case kMsgAccept:
+      HandlePhase(from, static_cast<const PhaseMsg&>(*msg), at);
+      break;
+    default:
+      break;
+  }
+}
+
+void PbftReplica::HandlePrePrepare(ReplicaId from, const PrePrepareMsg& msg,
+                                   SimTime at) {
+  if (from != harness_->config_.leader && from != msg.leader) {
+    return;
+  }
+  Instance& inst = instances_[msg.seq];
+  inst.proposal_ts = msg.timestamp;
+  inst.digest = BatchDigest(msg.seq, msg.batch);
+  inst.batch = msg.batch;
+  inst.have_preprepare = true;
+
+  if (sensor_) {
+    const LatencyMatrix& matrix = harness_->latency_monitor_.matrix();
+    const uint32_t u = harness_->suspicion_monitor_.Current().u;
+    if (matrix.Known(msg.leader, id_) && id_ != msg.leader) {
+      // Condition (b) on the Pre-Prepare itself: d_m = Lr(L, A) (TR1).
+      const double d_rnd_ms = AwareRoundDurationMs(
+          harness_->config_, harness_->scheme(), matrix, u);
+      if (std::isfinite(d_rnd_ms)) {
+        sensor_->OnProposalTimestamp(msg.seq, msg.leader, msg.timestamp,
+                                     FromMs(d_rnd_ms));
+        sensor_->ObserveArrival(
+            msg.seq, msg.leader, PhaseTag::kProposal,
+            FromMs(AwareProposeTimeoutMs(harness_->config_, matrix, id_)),
+            msg.timestamp, at);
+      }
+    }
+  }
+
+  // Send Write (Prepare) to all replicas.
+  auto write = std::make_shared<PhaseMsg>();
+  write->accept = false;
+  write->seq = msg.seq;
+  write->digest = inst.digest;
+  std::vector<ReplicaId> all(harness_->opts_.n);
+  for (ReplicaId id = 0; id < harness_->opts_.n; ++id) {
+    all[id] = id;
+  }
+  harness_->net_->Multicast(id_, all, std::move(write));
+  MaybeAdvance(msg.seq);
+}
+
+void PbftReplica::HandlePhase(ReplicaId from, const PhaseMsg& msg, SimTime at) {
+  Instance& inst = instances_[msg.seq];
+  const double weight =
+      harness_->opts_.mode == PbftMode::kPbft
+          ? 1.0
+          : WeightOf(harness_->config_, harness_->scheme(), from);
+  if (!msg.accept) {
+    if (inst.writes.insert(from).second) {
+      inst.write_weight += weight;
+    }
+  } else {
+    if (inst.accepts.insert(from).second) {
+      inst.accept_weight += weight;
+    }
+  }
+
+  if (sensor_ && inst.have_preprepare && from != id_) {
+    const LatencyMatrix& matrix = harness_->latency_monitor_.matrix();
+    if (matrix.Known(from, id_) && matrix.Coverage() >= 1.0) {
+      const uint32_t u = harness_->suspicion_monitor_.Current().u;
+      const double d_m_ms =
+          msg.accept
+              ? AwareAcceptTimeoutMs(harness_->config_, harness_->scheme(), matrix,
+                                     from, id_, u)
+              : AwareWriteTimeoutMs(harness_->config_, matrix, from, id_);
+      if (std::isfinite(d_m_ms)) {
+        sensor_->ObserveArrival(msg.seq, from,
+                                msg.accept ? PhaseTag::kSecondVote : PhaseTag::kFirstVote,
+                                FromMs(d_m_ms), inst.proposal_ts, at);
+      }
+    }
+  }
+  MaybeAdvance(msg.seq);
+}
+
+void PbftReplica::MaybeAdvance(uint64_t seq) {
+  Instance& inst = instances_[seq];
+  if (!inst.have_preprepare) {
+    return;
+  }
+  const double quorum = harness_->opts_.mode == PbftMode::kPbft
+                            ? std::ceil((harness_->opts_.n + harness_->opts_.f + 1) / 2.0)
+                            : harness_->scheme().quorum_weight;
+  if (!inst.accepted && inst.write_weight >= quorum) {
+    inst.accepted = true;
+    auto accept = std::make_shared<PhaseMsg>();
+    accept->accept = true;
+    accept->seq = seq;
+    accept->digest = inst.digest;
+    std::vector<ReplicaId> all(harness_->opts_.n);
+    for (ReplicaId id = 0; id < harness_->opts_.n; ++id) {
+      all[id] = id;
+    }
+    harness_->net_->Multicast(id_, all, std::move(accept));
+  }
+  if (!inst.committed && inst.accepted && inst.accept_weight >= quorum) {
+    Commit(seq);
+  }
+}
+
+void PbftReplica::Commit(uint64_t seq) {
+  Instance& inst = instances_[seq];
+  inst.committed = true;
+  // Reply to every client in the batch.
+  for (const RequestRef& req : inst.batch) {
+    auto reply = std::make_shared<ReplyMsg>();
+    reply->request_id = req.request_id;
+    reply->seq = seq;
+    harness_->net_->Send(id_, req.client, std::move(reply));
+  }
+  if (sensor_) {
+    sensor_->CheckDeadlines(harness_->sim_->now());
+    sensor_->GarbageCollect(seq >= 2 ? seq - 2 : 0);
+  }
+  if (id_ == harness_->config_.leader) {
+    harness_->OnCommitAtLeader(seq);
+  }
+  // Bound per-replica state.
+  while (instances_.size() > 64) {
+    instances_.erase(instances_.begin());
+  }
+}
+
+// --- PbftClient ----------------------------------------------------------------
+
+void PbftClient::SendNext(SimTime at) {
+  (void)at;
+  auto req = std::make_shared<RequestMsg>();
+  req->client = id_;
+  req->request_id = next_request_++;
+  req->sent_at = harness_->sim_->now();
+  req->payload_bytes = harness_->opts_.request_bytes;
+  current_sent_at_ = req->sent_at;
+  replies_ = 0;
+  harness_->net_->Send(id_, harness_->config_.leader, std::move(req));
+}
+
+void PbftClient::OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) {
+  (void)from;
+  if (msg->type() != kMsgReply) {
+    return;
+  }
+  const auto& reply = static_cast<const ReplyMsg&>(*msg);
+  if (reply.request_id != next_request_ - 1) {
+    return;  // stale
+  }
+  ++replies_;
+  if (replies_ == harness_->opts_.f + 1) {
+    samples_.push_back(ClientSample{at, ToMs(at - current_sent_at_)});
+    harness_->sim_->ScheduleAfter(harness_->opts_.request_interval,
+                                  [this] { SendNext(harness_->sim_->now()); });
+  }
+}
+
+// --- PbftHarness -----------------------------------------------------------------
+
+PbftHarness::PbftHarness(Simulator* sim, Network* net, const KeyStore* keys,
+                         PbftOptions opts)
+    : sim_(sim),
+      net_(net),
+      keys_(keys),
+      opts_(opts),
+      rng_(opts.seed),
+      space_(opts.n, opts.f),
+      latency_monitor_(opts.n),
+      misbehavior_monitor_(opts.n, keys),
+      suspicion_monitor_(opts.n, opts.f, &misbehavior_monitor_) {
+  // Initial configuration: leader 0, Vmax on the first 2f replicas.
+  config_.leader = 0;
+  config_.weight_max.assign(opts_.n, 0);
+  for (uint32_t i = 0; i < 2 * opts_.f && i < opts_.n; ++i) {
+    config_.weight_max[i] = 1;
+  }
+
+  config_monitor_ = std::make_unique<ConfigMonitor>(
+      opts_.n, opts_.f, &space_, &latency_monitor_, &suspicion_monitor_,
+      [this](const RoleConfig& cfg, double score) { AdoptConfig(cfg, score); });
+
+  for (ReplicaId id = 0; id < opts_.n; ++id) {
+    replicas_.push_back(std::make_unique<PbftReplica>(id, this));
+    net_->Register(id, replicas_.back().get());
+    if (opts_.mode == PbftMode::kOptiAware) {
+      replicas_.back()->sensor_ = std::make_unique<SuspicionSensor>(
+          id, opts_.delta,
+          [this](const SuspicionRecord& rec) { LogSuspicion(rec); });
+    }
+  }
+  for (uint32_t i = 0; i < opts_.n; ++i) {
+    clients_.push_back(std::make_unique<PbftClient>(ClientId(i), this));
+    net_->Register(ClientId(i), clients_.back().get());
+  }
+
+  net_->SetProposalClassifier(
+      [](const Message& m) { return m.type() == kMsgPrePrepare; });
+  net_->SetProbeClassifier([](const Message& m) {
+    return m.type() == kMsgPbftProbe || m.type() == kMsgPbftProbeReply;
+  });
+}
+
+void PbftHarness::Start() {
+  for (auto& client : clients_) {
+    client->SendNext(sim_->now());
+  }
+  if (opts_.mode != PbftMode::kPbft) {
+    RunProbeRound();
+    sim_->ScheduleAt(opts_.optimize_at, [this] { RunAwareOptimization(); });
+  }
+}
+
+void PbftHarness::SubmitRequest(const RequestRef& req) {
+  pending_requests_.push_back(req);
+  if (!instance_open_) {
+    ProposeNext(sim_->now());
+  }
+}
+
+void PbftHarness::ProposeNext(SimTime now) {
+  if (pending_requests_.empty()) {
+    return;
+  }
+  instance_open_ = true;
+  const uint64_t seq = next_seq_++;
+  auto msg = std::make_shared<PrePrepareMsg>();
+  msg->seq = seq;
+  msg->leader = config_.leader;
+  msg->timestamp = now;
+  while (!pending_requests_.empty()) {
+    msg->batch.push_back(pending_requests_.front());
+    pending_requests_.pop_front();
+  }
+  std::vector<ReplicaId> all(opts_.n);
+  for (ReplicaId id = 0; id < opts_.n; ++id) {
+    all[id] = id;
+  }
+  net_->Multicast(config_.leader, all, std::move(msg));
+}
+
+void PbftHarness::OnCommitAtLeader(uint64_t seq) {
+  (void)seq;
+  ++committed_instances_;
+  suspicion_monitor_.OnView(committed_instances_);
+  instance_open_ = false;
+  MaybeReactToSuspicions();
+  if (!pending_requests_.empty()) {
+    ProposeNext(sim_->now());
+  }
+}
+
+void PbftHarness::RunProbeRound() {
+  // Probe-based latency vectors (§4.2.1). The RTT a prober observes is the
+  // model RTT perturbed by both sides' outbound behavior — except that a
+  // fast_probes attacker answers promptly on purpose.
+  const FaultModel& faults = *net_->faults();
+  for (ReplicaId a = 0; a < opts_.n; ++a) {
+    if (faults.IsCrashedAt(a, sim_->now())) {
+      continue;
+    }
+    LatencyVectorRecord rec;
+    rec.reporter = a;
+    rec.epoch = static_cast<uint64_t>(sim_->now() / opts_.probe_interval);
+    rec.rtt_units.resize(opts_.n, 0);
+    for (ReplicaId b = 0; b < opts_.n; ++b) {
+      if (a == b) {
+        continue;
+      }
+      if (faults.IsCrashedAt(b, sim_->now())) {
+        rec.rtt_units[b] = kRttInfinity;
+        continue;
+      }
+      double rtt_us = static_cast<double>(net_->latency()->Rtt(a, b));
+      const ReplicaFaults& fa = faults.Of(a);
+      const ReplicaFaults& fb = faults.Of(b);
+      if (fa.outbound_delay_factor != 1.0 && !fa.fast_probes) {
+        rtt_us += static_cast<double>(net_->latency()->OneWay(a, b)) *
+                  (fa.outbound_delay_factor - 1.0);
+      }
+      if (fb.outbound_delay_factor != 1.0 && !fb.fast_probes) {
+        rtt_us += static_cast<double>(net_->latency()->OneWay(b, a)) *
+                  (fb.outbound_delay_factor - 1.0);
+      }
+      rec.rtt_units[b] = EncodeRttMs(rtt_us / kMsec);
+    }
+    // A latency_report_factor < 1 under-states the vector (§4.2.1 attack).
+    if (faults.Of(a).latency_report_factor != 1.0) {
+      for (auto& unit : rec.rtt_units) {
+        if (unit != kRttInfinity) {
+          unit = static_cast<uint16_t>(static_cast<double>(unit) *
+                                       faults.Of(a).latency_report_factor);
+        }
+      }
+    }
+    latency_monitor_.OnLatencyVector(rec);
+  }
+  sim_->ScheduleAfter(opts_.probe_interval, [this] { RunProbeRound(); });
+}
+
+void PbftHarness::RunAwareOptimization() {
+  // Aware's scheduled optimization (§5): search (leader, Vmax) for minimum
+  // predicted round duration. OptiAware restricts the roles to the
+  // candidate set K.
+  CandidateSet candidates;
+  if (opts_.mode == PbftMode::kOptiAware) {
+    candidates = suspicion_monitor_.Current();
+  } else {
+    for (ReplicaId id = 0; id < opts_.n; ++id) {
+      candidates.candidates.push_back(id);
+    }
+  }
+  RoleConfig initial = space_.RandomConfig(candidates, rng_);
+  AnnealingParams params;
+  params.max_iterations = 30'000;
+  auto score = [&](const RoleConfig& cfg) {
+    return space_.Score(cfg, latency_monitor_.matrix(), candidates.u);
+  };
+  auto mutate = [&](const RoleConfig& cfg, Rng& r) {
+    return space_.Mutate(cfg, candidates, r);
+  };
+  const auto result = SimulatedAnnealing(std::move(initial), score, mutate, rng_, params);
+  AdoptConfig(result.best, result.best_score);
+}
+
+void PbftHarness::LogSuspicion(const SuspicionRecord& rec) {
+  suspicion_times_.push_back(sim_->now());
+  suspicion_rounds_.insert(rec.round);
+  suspicion_monitor_.OnSuspicion(rec, true);
+  // Reciprocation (condition (c)): a correct accused replica answers with
+  // <False>; the attacker stays silent and drifts into C.
+  if (!net_->faults()->Of(rec.suspect).IsByzantine() &&
+      rec.type == SuspicionType::kSlow) {
+    SuspicionRecord reciprocal;
+    reciprocal.type = SuspicionType::kFalse;
+    reciprocal.suspector = rec.suspect;
+    reciprocal.suspect = rec.suspector;
+    reciprocal.round = rec.round;
+    reciprocal.phase = rec.phase;
+    suspicion_monitor_.OnSuspicion(reciprocal, true);
+  }
+  config_monitor_->OnCandidateUpdate();
+}
+
+void PbftHarness::MaybeReactToSuspicions() {
+  if (opts_.mode != PbftMode::kOptiAware) {
+    return;
+  }
+  const CandidateSet& k = suspicion_monitor_.Current();
+  if (space_.Valid(config_, k)) {
+    searched_after_invalid_ = false;
+    return;
+  }
+  if (searched_after_invalid_ ||
+      suspicion_rounds_.size() < opts_.suspicion_threshold) {
+    return;
+  }
+  searched_after_invalid_ = true;
+  // f + 1 replicas run the (non-deterministic) config search and propose;
+  // the deterministic monitor reconfigures once it has f + 1 of them.
+  for (uint32_t i = 0; i <= opts_.f; ++i) {
+    ConfigSensor sensor(i, &space_, rng_.Fork());
+    AnnealingParams params;
+    params.max_iterations = 10'000;
+    auto rec = sensor.Search(k, latency_monitor_.matrix(), params);
+    if (rec.has_value()) {
+      config_monitor_->OnConfigProposal(*rec, true);
+    }
+  }
+}
+
+void PbftHarness::AdoptConfig(const RoleConfig& config, double score) {
+  (void)score;
+  config_ = config;
+  if (config_.weight_max.size() != opts_.n) {
+    config_.weight_max.assign(opts_.n, 0);
+  }
+  reconfig_times_.push_back(sim_->now());
+  config_monitor_->SetActive(config_, score);
+  instance_open_ = false;
+  if (!pending_requests_.empty()) {
+    ProposeNext(sim_->now());
+  }
+}
+
+}  // namespace optilog

@@ -1,0 +1,172 @@
+// Message-level simulation of the weighted-PBFT family (§5, §7.1):
+//
+//   kPbft      — BFT-SMaRt baseline: fixed leader, uniform weights, static.
+//   kAware     — adds probe-based latency measurement and the scheduled
+//                (leader, Vmax) optimization at `optimize_at`, but no
+//                misbehavior/suspicion handling — so a Pre-Prepare delay
+//                attack keeps it degraded.
+//   kOptiAware — Aware + the OptiLog pipeline: per-replica suspicion
+//                sensors with TR1-TR3 timeouts; committed suspicions feed
+//                the (deterministic, hence shared-in-simulation) monitors;
+//                when the candidate set excludes the leader, the config
+//                monitor waits for f + 1 search proposals and reconfigures.
+//
+// Clients: one per replica, colocated in the replica's city (client id =
+// n + replica id). Clients issue requests in a closed loop to the current
+// leader and record end-to-end latency on the f + 1-th reply — the metric
+// Fig. 7 plots over time.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "src/aware/aware_score.h"
+#include "src/core/pipeline.h"
+#include "src/net/network.h"
+#include "src/pbft/messages.h"
+#include "src/rsm/metrics.h"
+
+namespace optilog {
+
+enum class PbftMode { kPbft, kAware, kOptiAware };
+
+struct PbftOptions {
+  uint32_t n = 0;
+  uint32_t f = 0;
+  PbftMode mode = PbftMode::kPbft;
+  double delta = 1.2;                  // suspicion timing slack
+  SimTime request_interval = 50 * kMsec;  // client think time
+  SimTime probe_interval = 5 * kSec;
+  SimTime optimize_at = 40 * kSec;     // Aware's scheduled optimization
+  size_t request_bytes = 64;
+  uint64_t seed = 7;
+  // Suspicions must accumulate in this many distinct instances before the
+  // monitor acts — Aware-style damping against one-off spikes.
+  uint32_t suspicion_threshold = 3;
+};
+
+struct ClientSample {
+  SimTime at;
+  double latency_ms;
+};
+
+class PbftHarness;
+
+class PbftReplica : public Actor {
+ public:
+  PbftReplica(ReplicaId id, PbftHarness* harness) : id_(id), harness_(harness) {}
+
+  void OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) override;
+
+ private:
+  friend class PbftHarness;
+
+  struct Instance {
+    SimTime proposal_ts = 0;
+    Digest digest{};
+    std::vector<RequestRef> batch;
+    double write_weight = 0.0;
+    double accept_weight = 0.0;
+    std::set<ReplicaId> writes;
+    std::set<ReplicaId> accepts;
+    bool wrote = false;
+    bool accepted = false;
+    bool committed = false;
+    bool have_preprepare = false;
+  };
+
+  void HandlePrePrepare(ReplicaId from, const PrePrepareMsg& msg, SimTime at);
+  void HandlePhase(ReplicaId from, const PhaseMsg& msg, SimTime at);
+  void MaybeAdvance(uint64_t seq);
+  void Commit(uint64_t seq);
+
+  const ReplicaId id_;
+  PbftHarness* harness_;
+  std::map<uint64_t, Instance> instances_;
+  std::unique_ptr<SuspicionSensor> sensor_;  // OptiAware only
+};
+
+class PbftClient : public Actor {
+ public:
+  PbftClient(ReplicaId id, PbftHarness* harness) : id_(id), harness_(harness) {}
+
+  void OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) override;
+  void SendNext(SimTime at);
+
+  const std::vector<ClientSample>& samples() const { return samples_; }
+
+ private:
+  const ReplicaId id_;
+  PbftHarness* harness_;
+  uint64_t next_request_ = 0;
+  SimTime current_sent_at_ = 0;
+  uint32_t replies_ = 0;
+  std::vector<ClientSample> samples_;
+};
+
+class PbftHarness {
+ public:
+  PbftHarness(Simulator* sim, Network* net, const KeyStore* keys, PbftOptions opts);
+
+  void Start();
+
+  const RoleConfig& config() const { return config_; }
+  const WeightScheme& scheme() const { return space_.scheme(); }
+  const PbftOptions& options() const { return opts_; }
+  const PbftClient& client(uint32_t i) const { return *clients_.at(i); }
+  Simulator* sim() { return sim_; }
+
+  uint64_t committed_instances() const { return committed_instances_; }
+  const std::vector<SimTime>& reconfigure_times() const { return reconfig_times_; }
+  const std::vector<SimTime>& suspicion_times() const { return suspicion_times_; }
+  const LatencyMatrix& matrix() const { return latency_monitor_.matrix(); }
+
+ private:
+  friend class PbftReplica;
+  friend class PbftClient;
+
+  ReplicaId ClientId(uint32_t i) const { return opts_.n + i; }
+  bool IsClient(ReplicaId id) const { return id >= opts_.n; }
+
+  void ProposeNext(SimTime now);
+  void OnCommitAtLeader(uint64_t seq);
+  void SubmitRequest(const RequestRef& req);
+  void RunProbeRound();
+  void RunAwareOptimization();
+  // Commit-order measurement bus: suspicions and config proposals feed the
+  // deterministic monitors (computed once; Table 1 consistency makes the
+  // per-replica copies identical, see DESIGN.md).
+  void LogSuspicion(const SuspicionRecord& rec);
+  void AdoptConfig(const RoleConfig& config, double score);
+  void MaybeReactToSuspicions();
+
+  Simulator* sim_;
+  Network* net_;
+  const KeyStore* keys_;
+  PbftOptions opts_;
+  Rng rng_;
+
+  AwareConfigSpace space_;
+  RoleConfig config_;
+  std::vector<std::unique_ptr<PbftReplica>> replicas_;
+  std::vector<std::unique_ptr<PbftClient>> clients_;
+
+  LatencyMonitor latency_monitor_;
+  MisbehaviorMonitor misbehavior_monitor_;
+  SuspicionMonitor suspicion_monitor_;
+  std::unique_ptr<ConfigMonitor> config_monitor_;
+
+  std::deque<RequestRef> pending_requests_;
+  uint64_t next_seq_ = 0;
+  bool instance_open_ = false;
+  uint64_t committed_instances_ = 0;
+  std::vector<SimTime> reconfig_times_;
+  std::vector<SimTime> suspicion_times_;
+  std::set<uint64_t> suspicion_rounds_;
+  bool searched_after_invalid_ = false;
+};
+
+}  // namespace optilog

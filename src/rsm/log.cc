@@ -1,0 +1,30 @@
+#include "src/rsm/log.h"
+
+namespace optilog {
+
+void Log::Append(LogEntry entry) {
+  entry.index = entries_.size();
+  if (entry.kind == EntryKind::kCommandBatch) {
+    total_commands_ += entry.batch_size;
+  }
+
+  Bytes encoded;
+  ByteWriter w(&encoded);
+  for (uint8_t b : head_) {
+    w.U8(b);
+  }
+  w.U64(entry.index);
+  w.U8(static_cast<uint8_t>(entry.kind));
+  w.U32(entry.proposer);
+  w.U32(entry.batch_size);
+  w.Blob(entry.payload);
+  head_ = Sha256::Hash(encoded);
+
+  entries_.push_back(std::move(entry));
+  const LogEntry& stored = entries_.back();
+  for (const auto& listener : listeners_) {
+    listener(stored);
+  }
+}
+
+}  // namespace optilog

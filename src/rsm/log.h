@@ -1,0 +1,67 @@
+// The append-only log at the heart of OptiLog (§1, §4).
+//
+// Consensus decides a total order of entries; each entry is either a batch
+// of client commands or an OptiLog measurement. Every replica holds its own
+// Log instance, and the protocol appends entries in commit order — so all
+// correct replicas observe identical logs, which is the property that makes
+// monitor state deterministic (§4.1). The log keeps a running SHA-256 chain
+// over entries; tests compare chain heads across replicas to prove
+// determinism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/crypto/signature.h"
+#include "src/sim/time.h"
+#include "src/util/bytes.h"
+
+namespace optilog {
+
+enum class EntryKind : uint8_t {
+  kCommandBatch = 0,   // opaque client commands (we track only batch size)
+  kMeasurement = 1,    // OptiLog sensor record (core/measurement.h encoding)
+};
+
+struct LogEntry {
+  uint64_t index = 0;
+  EntryKind kind = EntryKind::kCommandBatch;
+  ReplicaId proposer = kNoReplica;
+  SimTime committed_at = 0;
+  uint32_t batch_size = 0;  // number of client commands (command batches)
+  Bytes payload;            // measurement encoding (measurements)
+};
+
+class Log {
+ public:
+  using CommitListener = std::function<void(const LogEntry&)>;
+
+  // Appends in commit order; notifies listeners synchronously, in
+  // registration order, so downstream monitors see entries identically
+  // ordered on every replica.
+  void Append(LogEntry entry);
+
+  void AddListener(CommitListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  size_t size() const { return entries_.size(); }
+  const LogEntry& entry(size_t i) const { return entries_.at(i); }
+  const std::vector<LogEntry>& entries() const { return entries_; }
+
+  // SHA-256 chain head over all appended entries; equal heads imply equal
+  // logs with overwhelming probability.
+  const Digest& head() const { return head_; }
+
+  uint64_t total_commands() const { return total_commands_; }
+
+ private:
+  std::vector<LogEntry> entries_;
+  std::vector<CommitListener> listeners_;
+  Digest head_{};
+  uint64_t total_commands_ = 0;
+};
+
+}  // namespace optilog

@@ -1,0 +1,67 @@
+// Throughput and latency recording, matching how the paper reports results:
+// throughput/latency sampled every second over the run (§7.3), averaged with
+// 95% confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/util/stats.h"
+
+namespace optilog {
+
+// Buckets committed commands into one-second bins of simulated time.
+class ThroughputRecorder {
+ public:
+  void RecordCommit(SimTime at, uint32_t commands) {
+    const size_t bucket = static_cast<size_t>(at / kSec);
+    if (buckets_.size() <= bucket) {
+      buckets_.resize(bucket + 1, 0);
+    }
+    buckets_[bucket] += commands;
+    total_ += commands;
+  }
+
+  // Ops/s time series, one point per second.
+  const std::vector<uint64_t>& per_second() const { return buckets_; }
+
+  uint64_t total() const { return total_; }
+
+  // Mean ops/s over [from_sec, to_sec).
+  double MeanOps(size_t from_sec, size_t to_sec) const {
+    if (to_sec > buckets_.size()) {
+      to_sec = buckets_.size();
+    }
+    if (from_sec >= to_sec) {
+      return 0.0;
+    }
+    uint64_t sum = 0;
+    for (size_t i = from_sec; i < to_sec; ++i) {
+      sum += buckets_[i];
+    }
+    return static_cast<double>(sum) / static_cast<double>(to_sec - from_sec);
+  }
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+};
+
+// Consensus latency samples (proposal sent -> block committed), in ms.
+class LatencyRecorder {
+ public:
+  void Record(SimTime proposed_at, SimTime committed_at) {
+    samples_ms_.push_back(ToMs(committed_at - proposed_at));
+    stat_.Add(samples_ms_.back());
+  }
+
+  const std::vector<double>& samples_ms() const { return samples_ms_; }
+  const RunningStat& stat() const { return stat_; }
+
+ private:
+  std::vector<double> samples_ms_;
+  RunningStat stat_;
+};
+
+}  // namespace optilog

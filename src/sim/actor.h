@@ -1,0 +1,22 @@
+// Actor base class: anything that receives messages from the network.
+#pragma once
+
+#include "src/crypto/signature.h"
+#include "src/sim/message.h"
+#include "src/sim/time.h"
+
+namespace optilog {
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  // Called once when the simulation starts (after all actors registered).
+  virtual void OnStart() {}
+
+  // Delivery of a message sent by `from`. `at` is the delivery time (equal
+  // to Simulator::now() during the call).
+  virtual void OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) = 0;
+};
+
+}  // namespace optilog

@@ -1,0 +1,32 @@
+// Base type for simulated protocol messages.
+//
+// Messages are immutable once sent; the network hands the same
+// shared_ptr<const Message> to every multicast recipient. Each protocol
+// defines its own subclasses and downcasts on a type tag. WireSize() is the
+// serialized size in bytes — the network tracks it for bandwidth accounting
+// and Fig. 13 reports it for proposals.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace optilog {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  // Protocol-scoped discriminator; protocols define their own enums.
+  virtual int type() const = 0;
+
+  // Serialized size in bytes (header + payload).
+  virtual size_t WireSize() const = 0;
+
+  // Human-readable tag for traces.
+  virtual std::string Name() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace optilog

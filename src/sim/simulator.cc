@@ -1,0 +1,66 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+
+namespace optilog {
+
+EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+  const EventId id = next_seq_++;
+  queue_.push(Event{std::max(at, now_), id, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id == kNoEvent) {
+    return;
+  }
+  if (handlers_.erase(id) > 0) {
+    cancelled_.insert(id);
+  }
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto tomb = cancelled_.find(ev.id);
+    if (tomb != cancelled_.end()) {
+      cancelled_.erase(tomb);
+      continue;
+    }
+    auto it = handlers_.find(ev.id);
+    OL_CHECK(it != handlers_.end());
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = ev.at;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty()) {
+    // Peek past tombstones without executing.
+    const Event ev = queue_.top();
+    if (cancelled_.count(ev.id) > 0) {
+      queue_.pop();
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    if (ev.at > t) {
+      break;
+    }
+    Step();
+  }
+  now_ = std::max(now_, t);
+}
+
+void Simulator::RunAll() {
+  while (Step()) {
+  }
+}
+
+}  // namespace optilog

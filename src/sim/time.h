@@ -1,0 +1,20 @@
+// Simulated-time units. All simulator timestamps are int64 microseconds so
+// arithmetic is exact and event ordering is deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace optilog {
+
+using SimTime = int64_t;  // microseconds since simulation start
+
+constexpr SimTime kUsec = 1;
+constexpr SimTime kMsec = 1000;
+constexpr SimTime kSec = 1000 * 1000;
+
+inline double ToMs(SimTime t) { return static_cast<double>(t) / kMsec; }
+inline double ToSec(SimTime t) { return static_cast<double>(t) / kSec; }
+inline SimTime FromMs(double ms) { return static_cast<SimTime>(ms * kMsec); }
+inline SimTime FromSec(double s) { return static_cast<SimTime>(s * kSec); }
+
+}  // namespace optilog

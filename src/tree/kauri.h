@@ -1,0 +1,80 @@
+// Kauri's reconfiguration schemes (§6.1.1) and the Kauri-sa variant used as
+// a baseline in §7.5.
+//
+//   Kauri: t-Bounded Conformity — replicas are split into t = n / i
+//   disjoint bins of i internal nodes; tree j uses bin j as internals with
+//   random positions. If f < t one bin is fault-free. After the bins are
+//   exhausted (at most ~sqrt(n) trees), Kauri falls back to a star.
+//
+//   Kauri-sa: trees are found with simulated annealing over the latency
+//   matrix, but without OptiLog's candidate set or u estimate: after each
+//   failed tree, *all* of its internal nodes are excluded from future
+//   internal positions, and the score must budget for the worst case f.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/core/annealing.h"
+#include "src/core/latency_monitor.h"
+#include "src/tree/topology.h"
+#include "src/util/rng.h"
+
+namespace optilog {
+
+class KauriScheduler {
+ public:
+  KauriScheduler(uint32_t n, uint64_t seed);
+
+  // Next tree in the bin schedule, or nullopt when bins are exhausted and
+  // the protocol must fall back to a star.
+  std::optional<TreeTopology> NextTree();
+
+  // Star fallback rooted at a deterministic replica.
+  TreeTopology StarFallback() const;
+
+  uint32_t num_bins() const { return static_cast<uint32_t>(bins_.size()); }
+  uint32_t trees_used() const { return next_bin_; }
+
+ private:
+  const uint32_t n_;
+  Rng rng_;
+  std::vector<std::vector<ReplicaId>> bins_;
+  uint32_t next_bin_ = 0;
+};
+
+class KauriSaScheduler {
+ public:
+  KauriSaScheduler(uint32_t n, uint32_t f, uint32_t k, uint64_t seed)
+      : n_(n), f_(f), k_(k), rng_(seed) {}
+
+  // Runs SA over trees whose internals avoid every previously burned
+  // replica; returns nullopt when not enough unburned replicas remain.
+  std::optional<TreeTopology> NextTree(const LatencyMatrix& latency,
+                                       const AnnealingParams& params);
+
+  // Marks the internals of a failed tree as unusable.
+  void BurnInternals(const TreeTopology& tree);
+
+  const std::set<ReplicaId>& burned() const { return burned_; }
+
+ private:
+  const uint32_t n_;
+  const uint32_t f_;
+  const uint32_t k_;
+  Rng rng_;
+  std::set<ReplicaId> burned_;
+};
+
+// Convenience: a uniformly random height-3 tree over all n replicas (what
+// plain Kauri effectively deploys for the no-failure baseline, §7.4).
+TreeTopology RandomTree(uint32_t n, Rng& rng);
+
+// SA-optimized tree over an explicit candidate set; shared by OptiTree,
+// Kauri-sa and the analytic benchmarks.
+TreeTopology AnnealTree(uint32_t n, const std::vector<ReplicaId>& internal_candidates,
+                        const LatencyMatrix& latency, uint32_t k, Rng& rng,
+                        const AnnealingParams& params);
+
+}  // namespace optilog

@@ -1,0 +1,95 @@
+#include "src/tree/tree_score.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace optilog {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double AggregationLatencyMs(const TreeTopology& tree, const LatencyMatrix& latency,
+                            ReplicaId intermediate) {
+  double worst = 0.0;
+  for (ReplicaId child : tree.ChildrenOf(intermediate)) {
+    worst = std::max(worst, latency.Rtt(intermediate, child));
+  }
+  return worst;
+}
+
+double TreeScore(const TreeTopology& tree, const LatencyMatrix& latency, uint32_t k) {
+  if (k <= 1) {
+    return 0.0;  // the root's own vote suffices
+  }
+  // Arrival time and coverage (children + the intermediate itself) of each
+  // subtree's aggregate at the root.
+  struct Subtree {
+    double arrival;
+    uint32_t coverage;
+  };
+  std::vector<Subtree> subtrees;
+  subtrees.reserve(tree.intermediates().size());
+  for (ReplicaId inter : tree.intermediates()) {
+    Subtree s;
+    s.arrival = AggregationLatencyMs(tree, latency, inter) +
+                latency.Rtt(inter, tree.root());
+    s.coverage = static_cast<uint32_t>(tree.ChildrenOf(inter).size()) + 1;
+    subtrees.push_back(s);
+  }
+  // Star topology (no intermediates): every child votes directly.
+  if (subtrees.empty()) {
+    std::vector<double> arrivals;
+    for (ReplicaId child : tree.ChildrenOf(tree.root())) {
+      arrivals.push_back(latency.Rtt(tree.root(), child));
+    }
+    if (arrivals.size() + 1 < k) {
+      return kInf;
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    return arrivals[k - 2];  // root vote + (k-1) fastest children
+  }
+
+  std::sort(subtrees.begin(), subtrees.end(),
+            [](const Subtree& a, const Subtree& b) { return a.arrival < b.arrival; });
+  uint32_t covered = 0;
+  for (const Subtree& s : subtrees) {
+    covered += s.coverage;
+    if (covered >= k - 1) {
+      return s.arrival;
+    }
+  }
+  return kInf;
+}
+
+double TreeRoundDurationMs(const TreeTopology& tree, const LatencyMatrix& latency,
+                           uint32_t q, uint32_t u) {
+  return TreeScore(tree, latency, q + u);
+}
+
+double TreeProposeTimeoutMs(const TreeTopology& tree, const LatencyMatrix& latency,
+                            ReplicaId intermediate) {
+  return latency.Rtt(tree.root(), intermediate);
+}
+
+double TreeForwardTimeoutMs(const TreeTopology& tree, const LatencyMatrix& latency,
+                            ReplicaId leaf) {
+  const ReplicaId parent = tree.ParentOf(leaf);
+  return latency.Rtt(tree.root(), parent) + latency.Rtt(parent, leaf);
+}
+
+double TreeVoteTimeoutMs(const TreeTopology& tree, const LatencyMatrix& latency,
+                         ReplicaId leaf) {
+  const ReplicaId parent = tree.ParentOf(leaf);
+  return latency.Rtt(tree.root(), parent) + 2.0 * latency.Rtt(parent, leaf);
+}
+
+double TreeAggregateTimeoutMs(const TreeTopology& tree, const LatencyMatrix& latency,
+                              ReplicaId intermediate) {
+  return latency.Rtt(tree.root(), intermediate) +
+         AggregationLatencyMs(tree, latency, intermediate) +
+         latency.Rtt(intermediate, tree.root());
+}
+
+}  // namespace optilog

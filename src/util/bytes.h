@@ -1,0 +1,127 @@
+// Byte-buffer serialization used for wire-size accounting (Fig. 13) and for
+// hashing protocol messages. Encoding is little-endian and length-prefixed;
+// there is no versioning because both ends are this codebase.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace optilog {
+
+using Bytes = std::vector<uint8_t>;
+
+// Appends fixed-width little-endian integers and length-prefixed blobs.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+
+  void U16(uint16_t v) { AppendLe(v); }
+  void U32(uint32_t v) { AppendLe(v); }
+  void U64(uint64_t v) { AppendLe(v); }
+  void I64(int64_t v) { AppendLe(static_cast<uint64_t>(v)); }
+
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+
+  void Blob(const uint8_t* data, size_t len) {
+    U32(static_cast<uint32_t>(len));
+    out_->insert(out_->end(), data, data + len);
+  }
+  void Blob(const Bytes& data) { Blob(data.data(), data.size()); }
+  void Str(const std::string& s) {
+    Blob(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes* out_;
+};
+
+// Reads back what ByteWriter wrote. Truncated input does not abort: reads
+// past the end yield zeros and clear ok(), which callers must check before
+// trusting the decoded value — Byzantine proposers can commit arbitrary
+// byte strings.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& in) : in_(in) {}
+
+  // False once any read ran past the end of the input.
+  bool ok() const { return ok_; }
+
+  uint8_t U8() {
+    if (pos_ >= in_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return in_[pos_++];
+  }
+  uint16_t U16() { return ReadLe<uint16_t>(); }
+  uint32_t U32() { return ReadLe<uint32_t>(); }
+  uint64_t U64() { return ReadLe<uint64_t>(); }
+  int64_t I64() { return static_cast<int64_t>(ReadLe<uint64_t>()); }
+
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Bytes Blob() {
+    const uint32_t len = U32();
+    if (!ok_ || pos_ + len > in_.size()) {
+      ok_ = false;
+      return Bytes{};
+    }
+    Bytes out(in_.begin() + static_cast<long>(pos_),
+              in_.begin() + static_cast<long>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+  std::string Str() {
+    const Bytes b = Blob();
+    return std::string(b.begin(), b.end());
+  }
+
+  bool Done() const { return pos_ == in_.size(); }
+  size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T ReadLe() {
+    if (pos_ + sizeof(T) > in_.size()) {
+      ok_ = false;
+      pos_ = in_.size();
+      return 0;
+    }
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(in_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const Bytes& in_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace optilog

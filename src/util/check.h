@@ -1,0 +1,26 @@
+// Lightweight invariant checking. OL_CHECK aborts with a message on
+// violation in all build types; simulation code uses it for conditions that
+// indicate a bug in the framework (never for Byzantine input, which must be
+// handled gracefully).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define OL_CHECK(cond)                                                          \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::fprintf(stderr, "OL_CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                            \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (0)
+
+#define OL_CHECK_MSG(cond, msg)                                                 \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::fprintf(stderr, "OL_CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                       \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (0)

@@ -1,0 +1,120 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All randomness in this repository flows through Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256** seeded via SplitMix64, which is fast, has a 2^256-1 period,
+// and passes BigCrush; we deliberately avoid std::mt19937 because its
+// seeding is easy to get wrong and its state is bulky to fork per replica.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace optilog {
+
+// SplitMix64 step; used for seeding and as a cheap standalone mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x0123456789abcdefULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<uint64_t>::max(); }
+
+  result_type operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  // method to avoid modulo bias.
+  uint64_t Below(uint64_t bound) {
+    if (bound <= 1) {
+      return 0;
+    }
+    unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(Next()) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  // Derive an independent child generator; used to give each replica its own
+  // stream so per-replica behavior is stable under unrelated code changes.
+  Rng Fork() { return Rng(Next() ^ 0x9e3779b97f4a7c15ULL); }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[Below(i)]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) in selection order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k) {
+    std::vector<size_t> pool(n);
+    for (size_t i = 0; i < n; ++i) {
+      pool[i] = i;
+    }
+    if (k > n) {
+      k = n;
+    }
+    for (size_t i = 0; i < k; ++i) {
+      std::swap(pool[i], pool[i + Below(n - i)]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace optilog

@@ -1,0 +1,75 @@
+// Small online-statistics helpers used by the benchmark harnesses to report
+// means and 95% confidence intervals the way the paper's plots do.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace optilog {
+
+// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  // Half-width of the normal-approximation 95% confidence interval.
+  double ci95() const {
+    if (count_ < 2) {
+      return 0.0;
+    }
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample (linear interpolation); pct in [0, 100].
+inline double Percentile(std::vector<double> xs, double pct) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace optilog

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "src/hotstuff/tree_rsm.h"
+#include "src/net/geo.h"
+#include "src/rsm/metrics.h"
+#include "src/tree/kauri.h"
+
+namespace optilog {
+namespace {
+
+TEST(ThroughputRecorder, BucketsBySecond) {
+  ThroughputRecorder rec;
+  rec.RecordCommit(100 * kMsec, 1000);
+  rec.RecordCommit(900 * kMsec, 1000);
+  rec.RecordCommit(1500 * kMsec, 500);
+  EXPECT_EQ(rec.per_second().size(), 2u);
+  EXPECT_EQ(rec.per_second()[0], 2000u);
+  EXPECT_EQ(rec.per_second()[1], 500u);
+  EXPECT_EQ(rec.total(), 2500u);
+  EXPECT_DOUBLE_EQ(rec.MeanOps(0, 2), 1250.0);
+  EXPECT_DOUBLE_EQ(rec.MeanOps(0, 100), 1250.0);  // clamps to data
+  EXPECT_DOUBLE_EQ(rec.MeanOps(5, 3), 0.0);
+}
+
+TEST(LatencyRecorder, ConvertsToMs) {
+  LatencyRecorder rec;
+  rec.Record(0, 250 * kMsec);
+  rec.Record(100 * kMsec, 150 * kMsec);
+  EXPECT_EQ(rec.samples_ms().size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.samples_ms()[0], 250.0);
+  EXPECT_DOUBLE_EQ(rec.samples_ms()[1], 50.0);
+  EXPECT_DOUBLE_EQ(rec.stat().mean(), 150.0);
+}
+
+TEST(TreeTopology, StarConfigRoundTrip) {
+  const TreeTopology star = TreeTopology::Build({7}, {0, 1, 2, 3, 4, 5, 6});
+  const TreeTopology back = TreeTopology::FromConfig(star.ToConfig());
+  EXPECT_EQ(back.root(), 7u);
+  EXPECT_TRUE(back.intermediates().empty());
+  EXPECT_EQ(back.ChildrenOf(7).size(), 7u);
+  EXPECT_EQ(back.size(), 8u);
+}
+
+TEST(Kauri, BinsWithNonDivisibleN) {
+  // n = 43, i = b + 1 = 7 internals -> t = 6 bins; one replica left over.
+  KauriScheduler sched(43, 5);
+  EXPECT_EQ(sched.num_bins(), 6u);
+  int trees = 0;
+  while (sched.NextTree().has_value()) {
+    ++trees;
+  }
+  EXPECT_EQ(trees, 6);
+  EXPECT_EQ(sched.trees_used(), 6u);
+}
+
+// Full Kauri reconfiguration schedule on the message-level sim: every bin
+// tree whose internals include a crashed replica fails; the scheduler walks
+// the bins and falls back to a star once they are exhausted.
+TEST(Integration, KauriBinScheduleWithStarFallback) {
+  const auto cities = Europe21();
+  const uint32_t n = 21, f = 6;
+  GeoLatencyModel latency_model(cities);
+  Simulator sim;
+  FaultModel faults;
+  Network net(&sim, &latency_model, &faults);
+  KeyStore keys(n, 1);
+
+  const auto rtts = RttMatrixMs(cities);
+  LatencyMatrix matrix(n);
+  for (ReplicaId a = 0; a < n; ++a) {
+    for (ReplicaId b = 0; b < n; ++b) {
+      if (a != b) {
+        matrix.Record(a, b, rtts[a][b]);
+      }
+    }
+  }
+
+  TreeRsmOptions opts;
+  opts.n = n;
+  opts.f = f;
+  TreeRsm rsm(&sim, &net, &keys, &matrix, opts);
+
+  KauriScheduler sched(n, 77);
+  // Crash one replica from every bin's internals, so all bin trees fail and
+  // the star fallback is the first configuration that makes progress
+  // (the star's root is replica 0, which we keep alive).
+  KauriScheduler probe(n, 77);  // same seed -> same bins
+  std::set<ReplicaId> crashed;
+  while (auto tree = probe.NextTree()) {
+    for (ReplicaId id : tree->Internals()) {
+      if (id != 0 && crashed.size() < f) {
+        faults.Mutable(id).crash_at = 0;
+        crashed.insert(id);
+        break;
+      }
+    }
+  }
+  ASSERT_GE(crashed.size(), 4u);
+
+  bool on_star = false;
+  rsm.SetReconfigPolicy([&](TreeRsm&) -> std::optional<TreeTopology> {
+    if (auto tree = sched.NextTree()) {
+      return tree;
+    }
+    on_star = true;
+    return sched.StarFallback();
+  });
+  auto first = sched.NextTree();
+  ASSERT_TRUE(first.has_value());
+  rsm.SetTopology(*first);
+  rsm.SetExcluded(crashed);
+  rsm.Start();
+  sim.RunUntil(60 * kSec);
+
+  // With a crashed internal in every bin, Kauri must have reached the star.
+  EXPECT_TRUE(on_star);
+  EXPECT_TRUE(rsm.topology().intermediates().empty());
+  EXPECT_GT(rsm.committed_blocks(), 10u);
+  EXPECT_LE(rsm.reconfigurations(), sched.num_bins() + 1);
+}
+
+// OptiTree beats the Kauri bin schedule in failures-to-recovery: with the
+// E_d/T candidate set, a single reconfiguration avoids the crashed replica.
+TEST(Integration, OptiTreeRecoversInOneReconfig) {
+  const auto cities = Europe21();
+  const uint32_t n = 21, f = 6;
+  GeoLatencyModel latency_model(cities);
+  Simulator sim;
+  FaultModel faults;
+  Network net(&sim, &latency_model, &faults);
+  KeyStore keys(n, 1);
+
+  const auto rtts = RttMatrixMs(cities);
+  LatencyMatrix matrix(n);
+  for (ReplicaId a = 0; a < n; ++a) {
+    for (ReplicaId b = 0; b < n; ++b) {
+      if (a != b) {
+        matrix.Record(a, b, rtts[a][b]);
+      }
+    }
+  }
+
+  TreeRsmOptions opts;
+  opts.n = n;
+  opts.f = f;
+  TreeRsm rsm(&sim, &net, &keys, &matrix, opts);
+
+  Rng rng(5);
+  std::vector<ReplicaId> all(n);
+  for (ReplicaId id = 0; id < n; ++id) {
+    all[id] = id;
+  }
+  const AnnealingParams params = AnnealingParams::ForBudget(2000);
+  const TreeTopology tree = AnnealTree(n, all, matrix, 2 * f + 1, rng, params);
+  rsm.SetTopology(tree);
+  const ReplicaId victim = tree.root();
+  faults.Mutable(victim).crash_at = 3 * kSec;
+
+  rsm.SetReconfigPolicy([&](TreeRsm& r) -> std::optional<TreeTopology> {
+    std::vector<ReplicaId> pool;
+    for (ReplicaId id = 0; id < n; ++id) {
+      bool suspected = false;
+      for (const SuspicionRecord& rec : r.logged_suspicions()) {
+        if (rec.suspect == id) {
+          suspected = true;
+        }
+      }
+      if (!suspected) {
+        pool.push_back(id);
+      }
+    }
+    r.SetExcluded({victim});
+    return AnnealTree(n, pool, matrix, 2 * f + 1, rng, params);
+  });
+  rsm.Start();
+  sim.RunUntil(30 * kSec);
+
+  EXPECT_EQ(rsm.reconfigurations(), 1u);
+  EXPECT_NE(rsm.topology().root(), victim);
+  EXPECT_GT(rsm.committed_blocks(), 100u);
+}
+
+TEST(Integration, ExcludedLeavesDoNotStallAggregation) {
+  const auto cities = Europe21();
+  const uint32_t n = 21, f = 6;
+  GeoLatencyModel latency_model(cities);
+  Simulator sim;
+  FaultModel faults;
+  Network net(&sim, &latency_model, &faults);
+  KeyStore keys(n, 1);
+
+  const auto rtts = RttMatrixMs(cities);
+  LatencyMatrix matrix(n);
+  for (ReplicaId a = 0; a < n; ++a) {
+    for (ReplicaId b = 0; b < n; ++b) {
+      if (a != b) {
+        matrix.Record(a, b, rtts[a][b]);
+      }
+    }
+  }
+
+  // Crash two leaves; with them excluded, latency matches the healthy run
+  // (no intermediate waits for the aggregation timeout).
+  double healthy_latency = 0.0;
+  for (int run = 0; run < 2; ++run) {
+    Simulator local_sim;
+    FaultModel local_faults;
+    Network local_net(&local_sim, &latency_model, &local_faults);
+    TreeRsmOptions opts;
+    opts.n = n;
+    opts.f = f;
+    TreeRsm rsm(&local_sim, &local_net, &keys, &matrix, opts);
+    Rng rng(8);
+    const TreeTopology tree = RandomTree(n, rng);
+    std::vector<ReplicaId> leaves;
+    for (ReplicaId id : tree.Members()) {
+      if (tree.IsLeaf(id)) {
+        leaves.push_back(id);
+      }
+    }
+    if (run == 1) {
+      local_faults.Mutable(leaves[0]).crash_at = 0;
+      local_faults.Mutable(leaves[1]).crash_at = 0;
+      rsm.SetExcluded({leaves[0], leaves[1]});
+    }
+    rsm.SetTopology(tree);
+    rsm.Start();
+    local_sim.RunUntil(10 * kSec);
+    EXPECT_GT(rsm.committed_blocks(), 20u) << "run " << run;
+    if (run == 0) {
+      healthy_latency = rsm.latency_rec().stat().mean();
+    } else {
+      EXPECT_NEAR(rsm.latency_rec().stat().mean(), healthy_latency,
+                  healthy_latency * 0.5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optilog

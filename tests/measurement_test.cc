@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/core/measurement.h"
+#include "src/rsm/log.h"
+
+namespace optilog {
+namespace {
+
+TEST(RttEncoding, RoundTripAndSaturation) {
+  EXPECT_DOUBLE_EQ(DecodeRttMs(EncodeRttMs(12.3)), 12.3);
+  EXPECT_DOUBLE_EQ(DecodeRttMs(EncodeRttMs(0.05)), 0.1);  // ceil to resolution
+  EXPECT_EQ(EncodeRttMs(std::numeric_limits<double>::infinity()), kRttInfinity);
+  EXPECT_TRUE(std::isinf(DecodeRttMs(kRttInfinity)));
+  EXPECT_EQ(EncodeRttMs(1e9), kRttInfinity - 1);  // saturates below inf
+  EXPECT_EQ(EncodeRttMs(-5.0), 0);
+}
+
+TEST(LatencyVectorRecord, SerializeRoundTrip) {
+  LatencyVectorRecord rec;
+  rec.reporter = 3;
+  rec.epoch = 42;
+  rec.rtt_units = {100, 200, kRttInfinity, 0};
+  Bytes buf;
+  ByteWriter w(&buf);
+  rec.Serialize(w);
+  ByteReader r(buf);
+  const auto back = LatencyVectorRecord::Deserialize(r);
+  EXPECT_EQ(back.reporter, 3u);
+  EXPECT_EQ(back.epoch, 42u);
+  EXPECT_EQ(back.rtt_units, rec.rtt_units);
+}
+
+TEST(SuspicionRecord, SerializeRoundTrip) {
+  SuspicionRecord rec;
+  rec.type = SuspicionType::kFalse;
+  rec.suspector = 7;
+  rec.suspect = 2;
+  rec.round = 999;
+  rec.phase = PhaseTag::kAggregate;
+  Bytes buf;
+  ByteWriter w(&buf);
+  rec.Serialize(w);
+  ByteReader r(buf);
+  const auto back = SuspicionRecord::Deserialize(r);
+  EXPECT_EQ(static_cast<int>(back.type), static_cast<int>(rec.type));
+  EXPECT_EQ(back.suspector, rec.suspector);
+  EXPECT_EQ(back.suspect, rec.suspect);
+  EXPECT_EQ(back.round, rec.round);
+  EXPECT_EQ(static_cast<int>(back.phase), static_cast<int>(rec.phase));
+}
+
+TEST(ComplaintRecord, SerializeRoundTripWithProof) {
+  KeyStore keys(4, 1);
+  ComplaintRecord rec;
+  rec.accuser = 1;
+  rec.accused = 2;
+  rec.kind = MisbehaviorKind::kEquivocation;
+  SignedHeader h1;
+  h1.view = 5;
+  h1.digest = Sha256::Hash(std::string("a"));
+  h1.sig = keys.Sign(2, h1.SigningBytes());
+  rec.headers.push_back(h1);
+  rec.witness_sigs.push_back(keys.Sign(0, Bytes{1}));
+  const Digest d = Sha256::Hash(std::string("qc"));
+  rec.cert = QuorumCert::Aggregate(d, {keys.Sign(0, d)}, keys);
+  rec.expected_votes = 4;
+
+  Bytes buf;
+  ByteWriter w(&buf);
+  rec.Serialize(w);
+  ByteReader r(buf);
+  const auto back = ComplaintRecord::Deserialize(r);
+  EXPECT_EQ(back.accuser, 1u);
+  EXPECT_EQ(back.accused, 2u);
+  ASSERT_EQ(back.headers.size(), 1u);
+  EXPECT_EQ(back.headers[0].view, 5u);
+  EXPECT_EQ(back.headers[0].sig, h1.sig);
+  ASSERT_TRUE(back.cert.has_value());
+  EXPECT_TRUE(back.cert->Verify(keys));
+  EXPECT_EQ(back.expected_votes, 4u);
+}
+
+TEST(RoleConfig, SerializeRoundTrip) {
+  RoleConfig cfg;
+  cfg.leader = 2;
+  cfg.parent = {2, 2, 2, 1, kNoReplica};
+  cfg.weight_max = {0, 1, 1, 0};
+  Bytes buf;
+  ByteWriter w(&buf);
+  cfg.Serialize(w);
+  ByteReader r(buf);
+  EXPECT_EQ(RoleConfig::Deserialize(r), cfg);
+}
+
+TEST(ConfigProposalRecord, SerializeRoundTrip) {
+  ConfigProposalRecord rec;
+  rec.proposer = 9;
+  rec.epoch = 3;
+  rec.predicted_score = 123.456;
+  rec.config.leader = 1;
+  rec.config.weight_max = {1, 1, 0};
+  Bytes buf;
+  ByteWriter w(&buf);
+  rec.Serialize(w);
+  ByteReader r(buf);
+  const auto back = ConfigProposalRecord::Deserialize(r);
+  EXPECT_EQ(back.proposer, 9u);
+  EXPECT_DOUBLE_EQ(back.predicted_score, 123.456);
+  EXPECT_EQ(back.config, rec.config);
+}
+
+TEST(Measurement, EncodeDecodeAndVerify) {
+  KeyStore keys(4, 1);
+  SuspicionRecord rec;
+  rec.suspector = 1;
+  rec.suspect = 3;
+  const Measurement m = MakeSuspicionMeasurement(rec, keys);
+  EXPECT_TRUE(m.VerifySig(keys));
+  const auto decoded = Measurement::Decode(m.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->VerifySig(keys));
+  EXPECT_EQ(static_cast<int>(decoded->kind), static_cast<int>(MeasurementKind::kSuspicion));
+}
+
+TEST(Measurement, TamperedBodyFailsSig) {
+  KeyStore keys(4, 1);
+  SuspicionRecord rec;
+  rec.suspector = 1;
+  rec.suspect = 3;
+  Measurement m = MakeSuspicionMeasurement(rec, keys);
+  m.body[0] ^= 0xff;
+  EXPECT_FALSE(m.VerifySig(keys));
+}
+
+TEST(Measurement, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Measurement::Decode(Bytes{}).has_value());
+  EXPECT_FALSE(Measurement::Decode(Bytes{0x00, 0x01}).has_value());
+  EXPECT_FALSE(Measurement::Decode(Bytes{0x09}).has_value());  // bad kind
+}
+
+TEST(Log, AppendsAssignIndicesAndCountCommands) {
+  Log log;
+  LogEntry e;
+  e.kind = EntryKind::kCommandBatch;
+  e.batch_size = 1000;
+  log.Append(e);
+  log.Append(e);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.entry(0).index, 0u);
+  EXPECT_EQ(log.entry(1).index, 1u);
+  EXPECT_EQ(log.total_commands(), 2000u);
+}
+
+TEST(Log, ListenersSeeEntriesInOrder) {
+  Log log;
+  std::vector<uint64_t> seen;
+  log.AddListener([&](const LogEntry& e) { seen.push_back(e.index); });
+  for (int i = 0; i < 5; ++i) {
+    log.Append(LogEntry{});
+  }
+  EXPECT_EQ(seen, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Log, ChainHeadDetectsDivergence) {
+  Log a, b, c;
+  LogEntry cmd;
+  cmd.kind = EntryKind::kCommandBatch;
+  cmd.batch_size = 10;
+  LogEntry meas;
+  meas.kind = EntryKind::kMeasurement;
+  meas.payload = {1, 2, 3};
+
+  a.Append(cmd);
+  a.Append(meas);
+  b.Append(cmd);
+  b.Append(meas);
+  c.Append(meas);
+  c.Append(cmd);  // different order
+
+  EXPECT_EQ(a.head(), b.head());
+  EXPECT_NE(a.head(), c.head());
+}
+
+}  // namespace
+}  // namespace optilog

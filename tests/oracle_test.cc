@@ -1,0 +1,173 @@
+// Oracle cross-checks: optimized computations vs brute force on small
+// instances.
+//
+//   - TreeScore implements Definition 1's min-over-subsets with a sorted
+//     prefix; the oracle enumerates all subsets of intermediates.
+//   - WeightedQuorumTime picks the fastest weighted quorum greedily; the
+//     oracle enumerates all replica subsets.
+//   - MaximumIndependentSet (exact mode) vs enumeration of all vertex
+//     subsets.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/aware/aware_score.h"
+#include "src/core/mis.h"
+#include "src/tree/kauri.h"
+#include "src/tree/tree_score.h"
+#include "src/util/rng.h"
+
+namespace optilog {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+LatencyMatrix RandomMatrix(uint32_t n, uint64_t seed) {
+  Rng rng(seed);
+  LatencyMatrix m(n);
+  for (ReplicaId a = 0; a < n; ++a) {
+    for (ReplicaId b = a + 1; b < n; ++b) {
+      const double rtt = rng.Uniform(5.0, 250.0);
+      m.Record(a, b, rtt);
+      m.Record(b, a, rtt);
+    }
+  }
+  return m;
+}
+
+// Definition 1, literally: min over subsets M of intermediates whose
+// subtrees cover >= k - 1 nodes, of max_I (Lagg(I) + L(I, R)).
+double TreeScoreBruteForce(const TreeTopology& tree, const LatencyMatrix& m,
+                           uint32_t k) {
+  if (k <= 1) {
+    return 0.0;
+  }
+  const auto& inters = tree.intermediates();
+  const size_t count = inters.size();
+  double best = kInf;
+  for (uint32_t mask = 1; mask < (1u << count); ++mask) {
+    uint32_t covered = 0;
+    double worst = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      if ((mask >> i) & 1) {
+        covered += static_cast<uint32_t>(tree.ChildrenOf(inters[i]).size()) + 1;
+        worst = std::max(worst, AggregationLatencyMs(tree, m, inters[i]) +
+                                    m.Rtt(inters[i], tree.root()));
+      }
+    }
+    if (covered >= k - 1) {
+      best = std::min(best, worst);
+    }
+  }
+  return best;
+}
+
+class TreeScoreOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeScoreOracle, GreedyMatchesExhaustive) {
+  Rng rng(GetParam());
+  const uint32_t n = 13;  // b = 3: 3 intermediates, 2^3 subsets
+  const LatencyMatrix m = RandomMatrix(n, GetParam() * 31 + 1);
+  const TreeTopology tree = RandomTree(n, rng);
+  for (uint32_t k = 1; k <= n; ++k) {
+    const double fast = TreeScore(tree, m, k);
+    const double oracle = TreeScoreBruteForce(tree, m, k);
+    if (std::isinf(oracle)) {
+      EXPECT_TRUE(std::isinf(fast)) << "k=" << k;
+    } else {
+      EXPECT_DOUBLE_EQ(fast, oracle) << "k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeScoreOracle, ::testing::Range<uint64_t>(1, 16));
+
+// Earliest time any subset reaching the quorum weight completes, minus the
+// skip-fastest adversarial twist (checked at u = 0).
+double QuorumBruteForce(const std::vector<std::pair<double, double>>& aw,
+                        double quorum) {
+  double best = kInf;
+  const size_t n = aw.size();
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    double weight = 0.0, worst = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) {
+        weight += aw[i].second;
+        worst = std::max(worst, aw[i].first);
+      }
+    }
+    if (weight >= quorum) {
+      best = std::min(best, worst);
+    }
+  }
+  return best;
+}
+
+class QuorumOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuorumOracle, GreedyMatchesExhaustive) {
+  Rng rng(GetParam());
+  std::vector<std::pair<double, double>> aw;
+  for (int i = 0; i < 10; ++i) {
+    aw.emplace_back(rng.Uniform(1.0, 100.0), rng.Bernoulli(0.4) ? 2.0 : 1.0);
+  }
+  for (double quorum : {3.0, 5.0, 8.0, 12.0, 15.0}) {
+    const double fast = WeightedQuorumTime(aw, quorum, 0);
+    const double oracle = QuorumBruteForce(aw, quorum);
+    if (std::isinf(oracle)) {
+      EXPECT_TRUE(std::isinf(fast)) << "quorum=" << quorum;
+    } else {
+      EXPECT_DOUBLE_EQ(fast, oracle) << "quorum=" << quorum;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuorumOracle, ::testing::Range<uint64_t>(1, 16));
+
+size_t MisBruteForce(const SuspicionGraph& g, uint32_t n) {
+  size_t best = 0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    bool independent = true;
+    size_t size = 0;
+    for (uint32_t i = 0; i < n && independent; ++i) {
+      if (!((mask >> i) & 1)) {
+        continue;
+      }
+      ++size;
+      for (uint32_t j = i + 1; j < n; ++j) {
+        if (((mask >> j) & 1) && g.HasEdge(i, j)) {
+          independent = false;
+          break;
+        }
+      }
+    }
+    if (independent) {
+      best = std::max(best, size);
+    }
+  }
+  return best;
+}
+
+class MisOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MisOracle, ExactModeMatchesExhaustive) {
+  Rng rng(GetParam());
+  const uint32_t n = 12;
+  SuspicionGraph g;
+  for (int e = 0; e < 18; ++e) {
+    g.AddEdge(static_cast<ReplicaId>(rng.Below(n)),
+              static_cast<ReplicaId>(rng.Below(n)));
+  }
+  std::vector<ReplicaId> vertices(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    vertices[i] = i;
+  }
+  MisOptions opts;
+  opts.max_branches = 0;  // exact
+  EXPECT_EQ(MaximumIndependentSet(g, vertices, opts).size(), MisBruteForce(g, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MisOracle, ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace optilog

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "src/hotstuff/tree_rsm.h"
+#include "src/net/geo.h"
+#include "src/pbft/pbft_rsm.h"
+#include "src/tree/kauri.h"
+
+namespace optilog {
+namespace {
+
+// --- Tree protocol (HotStuff/Kauri family) ----------------------------------
+
+struct TreeFixture {
+  TreeFixture(uint32_t n, uint32_t f, const std::vector<City>& cities,
+              TreeRsmOptions opts)
+      : latency_model(cities), keys(n, 1) {
+    opts.n = n;
+    opts.f = f;
+    net = std::make_unique<Network>(&sim, &latency_model, &faults);
+    const auto rtts = RttMatrixMs(cities);
+    matrix.Reset(n);
+    for (ReplicaId a = 0; a < n; ++a) {
+      for (ReplicaId b = 0; b < n; ++b) {
+        if (a != b) {
+          matrix.Record(a, b, rtts[a][b]);
+        }
+      }
+    }
+    rsm = std::make_unique<TreeRsm>(&sim, net.get(), &keys, &matrix, opts);
+  }
+
+  Simulator sim;
+  GeoLatencyModel latency_model;
+  FaultModel faults;
+  KeyStore keys;
+  LatencyMatrix matrix;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<TreeRsm> rsm;
+};
+
+TEST(TreeRsmSim, StarCommitsBlocks) {
+  TreeRsmOptions opts;
+  TreeFixture fx(21, 6, Europe21(), opts);
+  std::vector<ReplicaId> leaves;
+  for (ReplicaId id = 1; id < 21; ++id) {
+    leaves.push_back(id);
+  }
+  fx.rsm->SetTopology(TreeTopology::Build({0}, leaves));
+  fx.rsm->Start();
+  fx.sim.RunUntil(20 * kSec);
+  EXPECT_GT(fx.rsm->committed_blocks(), 50u);
+  EXPECT_EQ(fx.rsm->failed_rounds(), 0u);
+  EXPECT_GT(fx.rsm->latency_rec().stat().mean(), 1.0);   // > 1 ms
+  EXPECT_LT(fx.rsm->latency_rec().stat().mean(), 200.0);  // intra-EU
+}
+
+TEST(TreeRsmSim, TreeCommitsBlocks) {
+  TreeRsmOptions opts;
+  TreeFixture fx(21, 6, Europe21(), opts);
+  Rng rng(5);
+  fx.rsm->SetTopology(RandomTree(21, rng));
+  fx.rsm->Start();
+  fx.sim.RunUntil(20 * kSec);
+  EXPECT_GT(fx.rsm->committed_blocks(), 20u);
+  EXPECT_EQ(fx.rsm->failed_rounds(), 0u);
+}
+
+TEST(TreeRsmSim, PipeliningRaisesThroughput) {
+  uint64_t committed[2];
+  for (int run = 0; run < 2; ++run) {
+    TreeRsmOptions opts;
+    opts.pipeline_depth = run == 0 ? 1 : 3;
+    TreeFixture fx(21, 6, Europe21(), opts);
+    Rng rng(5);
+    fx.rsm->SetTopology(RandomTree(21, rng));
+    fx.rsm->Start();
+    fx.sim.RunUntil(20 * kSec);
+    committed[run] = fx.rsm->committed_blocks();
+  }
+  EXPECT_GT(committed[1], committed[0] * 2);
+}
+
+TEST(TreeRsmSim, BandwidthMakesStarSlowerThanTreeThroughput) {
+  // The §6.1.1 argument: with limited uplinks, the star leader serializes
+  // n - 1 block copies while the tree spreads the load.
+  uint64_t committed[2];
+  for (int run = 0; run < 2; ++run) {
+    TreeRsmOptions opts;
+    opts.pipeline_depth = 3;
+    TreeFixture fx(73, 24, Global73(), opts);
+    fx.net->SetBandwidthBps(500e6);  // 500 Mbit/s per replica
+    if (run == 0) {
+      std::vector<ReplicaId> leaves;
+      for (ReplicaId id = 1; id < 73; ++id) {
+        leaves.push_back(id);
+      }
+      fx.rsm->SetTopology(TreeTopology::Build({0}, leaves));
+    } else {
+      Rng rng(5);
+      fx.rsm->SetTopology(RandomTree(73, rng));
+    }
+    fx.rsm->Start();
+    fx.sim.RunUntil(30 * kSec);
+    committed[run] = fx.rsm->committed_blocks();
+  }
+  EXPECT_GT(committed[1], committed[0]);
+}
+
+TEST(TreeRsmSim, CrashedRootTriggersTimeoutAndReconfig) {
+  TreeRsmOptions opts;
+  TreeFixture fx(21, 6, Europe21(), opts);
+  Rng rng(5);
+  const TreeTopology first = RandomTree(21, rng);
+  fx.faults.Mutable(first.root()).crash_at = 5 * kSec;
+  fx.rsm->SetTopology(first);
+
+  const ReplicaId dead_root = first.root();
+  fx.rsm->SetReconfigPolicy([dead_root, &rng](TreeRsm& rsm) {
+    // Next random tree avoiding the dead root as an internal.
+    for (;;) {
+      TreeTopology t = RandomTree(rsm.options().n, rng);
+      bool ok = true;
+      for (ReplicaId id : t.Internals()) {
+        if (id == dead_root) {
+          ok = false;
+        }
+      }
+      if (ok) {
+        return std::optional<TreeTopology>(t);
+      }
+    }
+  });
+  fx.rsm->Start();
+  fx.sim.RunUntil(30 * kSec);
+  EXPECT_GE(fx.rsm->failed_rounds(), 1u);
+  EXPECT_GE(fx.rsm->reconfigurations(), 1u);
+  EXPECT_NE(fx.rsm->topology().root(), dead_root);
+  // Suspicions against the crashed root were recorded (CT2).
+  bool suspected_root = false;
+  for (const SuspicionRecord& rec : fx.rsm->logged_suspicions()) {
+    if (rec.suspect == dead_root) {
+      suspected_root = true;
+    }
+  }
+  EXPECT_TRUE(suspected_root);
+  // Progress resumed on the new tree.
+  EXPECT_GT(fx.rsm->committed_blocks(), 20u);
+}
+
+TEST(TreeRsmSim, CrashedIntermediateSuspectedByAggregationRule) {
+  TreeRsmOptions opts;
+  opts.votes_required = 20;  // require all non-root votes -> crash must bite
+  TreeFixture fx(21, 6, Europe21(), opts);
+  Rng rng(6);
+  const TreeTopology tree = RandomTree(21, rng);
+  const ReplicaId victim = tree.intermediates()[0];
+  fx.faults.Mutable(victim).crash_at = 0;
+  fx.rsm->SetTopology(tree);
+  fx.rsm->Start();
+  fx.sim.RunUntil(10 * kSec);
+  EXPECT_GE(fx.rsm->failed_rounds(), 1u);
+  bool suspected = false;
+  for (const SuspicionRecord& rec : fx.rsm->logged_suspicions()) {
+    if (rec.suspect == victim) {
+      suspected = true;
+    }
+  }
+  EXPECT_TRUE(suspected);
+}
+
+TEST(TreeRsmSim, DelayingIntermediateReducesThroughput) {
+  // Fig. 11 mechanism: a faulty intermediate stretching delays by delta
+  // inflates latency and cuts throughput.
+  uint64_t committed[2];
+  for (int run = 0; run < 2; ++run) {
+    TreeRsmOptions opts;
+    opts.delta = 1.5;  // timers tolerate the attacker
+    TreeFixture fx(21, 6, Europe21(), opts);
+    Rng rng(7);
+    const TreeTopology tree = RandomTree(21, rng);
+    if (run == 1) {
+      fx.faults.Mutable(tree.intermediates()[0]).outbound_delay_factor = 1.4;
+      fx.faults.Mutable(tree.intermediates()[1]).outbound_delay_factor = 1.4;
+    }
+    fx.rsm->SetTopology(tree);
+    fx.rsm->Start();
+    fx.sim.RunUntil(20 * kSec);
+    committed[run] = fx.rsm->committed_blocks();
+  }
+  EXPECT_LT(committed[1], committed[0]);
+}
+
+TEST(TreeRsmSim, DeterministicAcrossRuns) {
+  uint64_t blocks[2];
+  double lat[2];
+  for (int run = 0; run < 2; ++run) {
+    TreeRsmOptions opts;
+    TreeFixture fx(21, 6, Europe21(), opts);
+    Rng rng(9);
+    fx.rsm->SetTopology(RandomTree(21, rng));
+    fx.rsm->Start();
+    fx.sim.RunUntil(10 * kSec);
+    blocks[run] = fx.rsm->committed_blocks();
+    lat[run] = fx.rsm->latency_rec().stat().mean();
+  }
+  EXPECT_EQ(blocks[0], blocks[1]);
+  EXPECT_DOUBLE_EQ(lat[0], lat[1]);
+}
+
+// --- PBFT family (Fig. 7 machinery) ------------------------------------------
+
+struct PbftFixture {
+  explicit PbftFixture(PbftOptions opts)
+      : cities([&] {
+          // Replicas and clients colocated: city list doubled.
+          auto c = Europe21();
+          auto twice = c;
+          twice.insert(twice.end(), c.begin(), c.end());
+          return twice;
+        }()),
+        latency_model(cities),
+        keys(opts.n, 1) {
+    net = std::make_unique<Network>(&sim, &latency_model, &faults);
+    harness = std::make_unique<PbftHarness>(&sim, net.get(), &keys, opts);
+  }
+
+  std::vector<City> cities;
+  Simulator sim;
+  GeoLatencyModel latency_model;
+  FaultModel faults;
+  KeyStore keys;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<PbftHarness> harness;
+};
+
+PbftOptions BaseOptions(PbftMode mode) {
+  PbftOptions opts;
+  opts.n = 21;
+  opts.f = 6;
+  opts.mode = mode;
+  opts.optimize_at = 5 * kSec;
+  return opts;
+}
+
+TEST(PbftSim, CommitsAndServesClients) {
+  PbftFixture fx(BaseOptions(PbftMode::kPbft));
+  fx.harness->Start();
+  fx.sim.RunUntil(10 * kSec);
+  EXPECT_GT(fx.harness->committed_instances(), 20u);
+  const auto& samples = fx.harness->client(0).samples();
+  ASSERT_GT(samples.size(), 10u);
+  for (const ClientSample& s : samples) {
+    EXPECT_GT(s.latency_ms, 1.0);
+    EXPECT_LT(s.latency_ms, 500.0);
+  }
+}
+
+TEST(PbftSim, AwareOptimizationReducesLatency) {
+  PbftFixture fx(BaseOptions(PbftMode::kAware));
+  fx.harness->Start();
+  fx.sim.RunUntil(30 * kSec);
+  const auto& samples = fx.harness->client(0).samples();
+  ASSERT_FALSE(fx.harness->reconfigure_times().empty());
+  const SimTime opt_at = fx.harness->reconfigure_times().front();
+  RunningStat before, after;
+  for (const ClientSample& s : samples) {
+    (s.at < opt_at ? before : after).Add(s.latency_ms);
+  }
+  ASSERT_GT(before.count(), 5u);
+  ASSERT_GT(after.count(), 5u);
+  EXPECT_LT(after.mean(), before.mean());
+}
+
+TEST(PbftSim, ProbesFillLatencyMatrix) {
+  PbftFixture fx(BaseOptions(PbftMode::kAware));
+  fx.harness->Start();
+  fx.sim.RunUntil(2 * kSec);
+  EXPECT_DOUBLE_EQ(fx.harness->matrix().Coverage(), 1.0);
+}
+
+TEST(PbftSim, DelayAttackDetectedOnlyByOptiAware) {
+  // The Fig. 7 storyline: the replica holding the leader role after Aware's
+  // optimization turns Byzantine and delays its Pre-Prepares.
+  for (PbftMode mode : {PbftMode::kAware, PbftMode::kOptiAware}) {
+    PbftOptions opts = BaseOptions(mode);
+    opts.delta = 1.5;
+    PbftFixture fx(opts);
+    ReplicaId attacker = kNoReplica;
+    fx.sim.ScheduleAt(15 * kSec, [&] {
+      attacker = fx.harness->config().leader;
+      auto& leader_faults = fx.faults.Mutable(attacker);
+      leader_faults.proposal_delay = 600 * kMsec;
+      leader_faults.fast_probes = true;  // probes stay fast: Aware stays blind
+    });
+    fx.harness->Start();
+    fx.sim.RunUntil(60 * kSec);
+    ASSERT_NE(attacker, kNoReplica);
+    if (mode == PbftMode::kOptiAware) {
+      EXPECT_NE(fx.harness->config().leader, attacker)
+          << "OptiAware must reassign the leader role";
+      EXPECT_FALSE(fx.harness->suspicion_times().empty());
+      // Latency recovered: recent samples far below the attack latency.
+      const auto& samples = fx.harness->client(0).samples();
+      ASSERT_GT(samples.size(), 10u);
+      double tail = 0;
+      int count = 0;
+      for (size_t i = samples.size() - 5; i < samples.size(); ++i) {
+        tail += samples[i].latency_ms;
+        ++count;
+      }
+      EXPECT_LT(tail / count, 400.0);
+    } else {
+      // Aware has no suspicion machinery: the attacker keeps the leader role
+      // and the system stays degraded.
+      EXPECT_EQ(fx.harness->config().leader, attacker);
+      EXPECT_TRUE(fx.harness->suspicion_times().empty());
+      const auto& samples = fx.harness->client(0).samples();
+      ASSERT_GT(samples.size(), 10u);
+      EXPECT_GT(samples.back().latency_ms, 400.0);
+    }
+  }
+}
+
+TEST(PbftSim, NoFalseSuspicionsWithoutAttack) {
+  // Lemma 3 in action: after the matrix is measured, correct replicas do not
+  // suspect each other under honest timing.
+  PbftOptions opts = BaseOptions(PbftMode::kOptiAware);
+  opts.delta = 1.5;
+  PbftFixture fx(opts);
+  fx.harness->Start();
+  fx.sim.RunUntil(30 * kSec);
+  EXPECT_TRUE(fx.harness->suspicion_times().empty());
+  EXPECT_GT(fx.harness->committed_instances(), 50u);
+}
+
+}  // namespace
+}  // namespace optilog

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include "src/net/fault_model.h"
+#include "src/net/geo.h"
+#include "src/net/latency_model.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace optilog {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.ScheduleAt(10, [&] { ran = true; });
+  sim.Cancel(id);
+  sim.RunAll();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotent) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(10, [] {});
+  sim.Cancel(id);
+  sim.Cancel(id);
+  sim.Cancel(kNoEvent);
+  sim.RunAll();
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(10, [&] { ++count; });
+  sim.ScheduleAt(20, [&] { ++count; });
+  sim.ScheduleAt(30, [&] { ++count; });
+  sim.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.RunUntil(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, PastScheduleClampsToNow) {
+  Simulator sim;
+  sim.RunUntil(50);
+  SimTime ran_at = -1;
+  sim.ScheduleAt(10, [&] { ran_at = sim.now(); });
+  sim.RunAll();
+  EXPECT_EQ(ran_at, 50);
+}
+
+TEST(Simulator, EventsScheduledDuringExecutionRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.ScheduleAfter(10, recurse);
+    }
+  };
+  sim.ScheduleAt(0, recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Geo, DatasetHas220Locations) {
+  EXPECT_EQ(WorldCities().size(), 220u);
+}
+
+TEST(Geo, SubsetsMatchPaperSizes) {
+  EXPECT_EQ(Europe21().size(), 21u);
+  EXPECT_EQ(NaEu43().size(), 43u);
+  EXPECT_EQ(Global73().size(), 73u);
+  EXPECT_EQ(Stellar56().size(), 56u);
+}
+
+TEST(Geo, Europe21IsAllEuropean) {
+  for (const City& c : Europe21()) {
+    EXPECT_EQ(static_cast<int>(c.region), static_cast<int>(Region::kEurope));
+  }
+}
+
+TEST(Geo, HaversineKnownDistances) {
+  // London <-> New York is about 5570 km.
+  const double d = HaversineKm(51.51, -0.13, 40.71, -74.01);
+  EXPECT_NEAR(d, 5570, 100);
+  // Same point.
+  EXPECT_NEAR(HaversineKm(10, 20, 10, 20), 0.0, 1e-9);
+}
+
+TEST(Geo, IntercontinentalRttInPaperBand) {
+  // §7.3: intercontinental delays range from 150 to 250 ms.
+  const City london{"London", 51.51, -0.13, Region::kEurope};
+  const City tokyo{"Tokyo", 35.68, 139.69, Region::kAsia};
+  const City sydney{"Sydney", -33.87, 151.21, Region::kOceania};
+  const City ny{"New York", 40.71, -74.01, Region::kNorthAmerica};
+  EXPECT_GT(CityRttMs(london, tokyo), 120);
+  EXPECT_LT(CityRttMs(london, tokyo), 260);
+  EXPECT_GT(CityRttMs(london, sydney), 150);
+  EXPECT_LT(CityRttMs(london, sydney), 300);
+  EXPECT_GT(CityRttMs(ny, london), 60);
+  EXPECT_LT(CityRttMs(ny, london), 120);
+}
+
+TEST(Geo, IntraEuropeRttSmall) {
+  const auto eu = Europe21();
+  const auto m = RttMatrixMs(eu);
+  for (size_t i = 0; i < eu.size(); ++i) {
+    for (size_t j = i + 1; j < eu.size(); ++j) {
+      EXPECT_LT(m[i][j], 80.0) << eu[i].name << "<->" << eu[j].name;
+      EXPECT_GE(m[i][j], 1.0);
+    }
+  }
+}
+
+TEST(Geo, RttMatrixSymmetric) {
+  const auto cities = Global73();
+  const auto m = RttMatrixMs(cities);
+  for (size_t i = 0; i < cities.size(); ++i) {
+    EXPECT_EQ(m[i][i], 0.0);
+    for (size_t j = 0; j < cities.size(); ++j) {
+      EXPECT_EQ(m[i][j], m[j][i]);
+    }
+  }
+}
+
+TEST(Geo, GlobalNDeterministicAndSized) {
+  const auto a = GlobalN(100, 5);
+  const auto b = GlobalN(100, 5);
+  ASSERT_EQ(a.size(), 100u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+  }
+  EXPECT_EQ(GlobalN(300, 5).size(), 300u);  // wraps beyond dataset
+}
+
+TEST(LatencyModel, GeoModelSymmetricOneWay) {
+  GeoLatencyModel model(Europe21());
+  for (ReplicaId a = 0; a < 21; ++a) {
+    for (ReplicaId b = 0; b < 21; ++b) {
+      EXPECT_EQ(model.OneWay(a, b), model.OneWay(b, a));
+    }
+  }
+  EXPECT_EQ(model.OneWay(3, 3), 0);
+}
+
+TEST(LatencyModel, MatrixModelSetAndGet) {
+  MatrixLatencyModel model(4, 10 * kMsec);
+  EXPECT_EQ(model.OneWay(0, 1), 10 * kMsec);
+  model.Set(0, 1, 5 * kMsec);
+  EXPECT_EQ(model.OneWay(0, 1), 5 * kMsec);
+  EXPECT_EQ(model.OneWay(1, 0), 5 * kMsec);
+  EXPECT_EQ(model.Rtt(0, 1), 10 * kMsec);
+}
+
+class Recorder : public Actor {
+ public:
+  void OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) override {
+    (void)msg;
+    deliveries.emplace_back(from, at);
+  }
+  std::vector<std::pair<ReplicaId, SimTime>> deliveries;
+};
+
+struct TestMsg : Message {
+  size_t bytes = 100;
+  int kind = 1;
+  int type() const override { return kind; }
+  size_t WireSize() const override { return bytes; }
+  std::string Name() const override { return "Test"; }
+};
+
+TEST(Network, DeliversWithPropagationDelay) {
+  Simulator sim;
+  MatrixLatencyModel latency(2, 7 * kMsec);
+  FaultModel faults;
+  Network net(&sim, &latency, &faults);
+  Recorder r;
+  net.Register(1, &r);
+  net.Send(0, 1, std::make_shared<TestMsg>());
+  sim.RunAll();
+  ASSERT_EQ(r.deliveries.size(), 1u);
+  EXPECT_EQ(r.deliveries[0].second, 7 * kMsec);
+}
+
+TEST(Network, CrashedSenderSendsNothing) {
+  Simulator sim;
+  MatrixLatencyModel latency(2, kMsec);
+  FaultModel faults;
+  faults.Mutable(0).crash_at = 0;
+  Network net(&sim, &latency, &faults);
+  Recorder r;
+  net.Register(1, &r);
+  net.Send(0, 1, std::make_shared<TestMsg>());
+  sim.RunAll();
+  EXPECT_TRUE(r.deliveries.empty());
+}
+
+TEST(Network, CrashedReceiverDropsDelivery) {
+  Simulator sim;
+  MatrixLatencyModel latency(2, kMsec);
+  FaultModel faults;
+  faults.Mutable(1).crash_at = 500;  // crashes before delivery at 1000
+  Network net(&sim, &latency, &faults);
+  Recorder r;
+  net.Register(1, &r);
+  net.Send(0, 1, std::make_shared<TestMsg>());
+  sim.RunAll();
+  EXPECT_TRUE(r.deliveries.empty());
+}
+
+TEST(Network, DelayFactorSlowsSender) {
+  Simulator sim;
+  MatrixLatencyModel latency(2, 10 * kMsec);
+  FaultModel faults;
+  faults.Mutable(0).outbound_delay_factor = 1.4;
+  Network net(&sim, &latency, &faults);
+  Recorder r;
+  net.Register(1, &r);
+  net.Send(0, 1, std::make_shared<TestMsg>());
+  sim.RunAll();
+  ASSERT_EQ(r.deliveries.size(), 1u);
+  EXPECT_EQ(r.deliveries[0].second, 14 * kMsec);
+}
+
+TEST(Network, FastProbesExemptProbeMessages) {
+  Simulator sim;
+  MatrixLatencyModel latency(2, 10 * kMsec);
+  FaultModel faults;
+  auto& f = faults.Mutable(0);
+  f.outbound_delay_factor = 2.0;
+  f.fast_probes = true;
+  Network net(&sim, &latency, &faults);
+  net.SetProbeClassifier([](const Message& m) { return m.type() == 99; });
+  Recorder r;
+  net.Register(1, &r);
+  auto probe = std::make_shared<TestMsg>();
+  probe->kind = 99;
+  net.Send(0, 1, probe);
+  net.Send(0, 1, std::make_shared<TestMsg>());  // protocol message
+  sim.RunAll();
+  ASSERT_EQ(r.deliveries.size(), 2u);
+  EXPECT_EQ(r.deliveries[0].second, 10 * kMsec);  // probe: honest
+  EXPECT_EQ(r.deliveries[1].second, 20 * kMsec);  // protocol: delayed
+}
+
+TEST(Network, ProposalDelayAttack) {
+  Simulator sim;
+  MatrixLatencyModel latency(2, 10 * kMsec);
+  FaultModel faults;
+  faults.Mutable(0).proposal_delay = 500 * kMsec;
+  Network net(&sim, &latency, &faults);
+  net.SetProposalClassifier([](const Message& m) { return m.type() == 42; });
+  Recorder r;
+  net.Register(1, &r);
+  auto proposal = std::make_shared<TestMsg>();
+  proposal->kind = 42;
+  net.Send(0, 1, proposal);
+  net.Send(0, 1, std::make_shared<TestMsg>());
+  sim.RunAll();
+  ASSERT_EQ(r.deliveries.size(), 2u);
+  // Non-proposal is on time; proposal is delayed by 500 ms.
+  EXPECT_EQ(r.deliveries[0].second, 10 * kMsec);
+  EXPECT_EQ(r.deliveries[1].second, 510 * kMsec);
+}
+
+TEST(Network, BandwidthSerializesMulticast) {
+  Simulator sim;
+  MatrixLatencyModel latency(4, 10 * kMsec);
+  FaultModel faults;
+  Network net(&sim, &latency, &faults);
+  net.SetBandwidthBps(8'000'000);  // 8 Mbit/s -> 1 MB/s -> 1000 bytes/ms
+  Recorder r1, r2, r3;
+  net.Register(1, &r1);
+  net.Register(2, &r2);
+  net.Register(3, &r3);
+  auto msg = std::make_shared<TestMsg>();
+  msg->bytes = 10'000;  // 10 ms serialization each
+  net.Multicast(0, {1, 2, 3}, msg);
+  sim.RunAll();
+  ASSERT_EQ(r1.deliveries.size(), 1u);
+  // Copy i finishes serializing at i * 10 ms, then 10 ms propagation.
+  EXPECT_EQ(r1.deliveries[0].second, 20 * kMsec);
+  EXPECT_EQ(r2.deliveries[0].second, 30 * kMsec);
+  EXPECT_EQ(r3.deliveries[0].second, 40 * kMsec);
+}
+
+TEST(Network, StatsCountMessagesAndBytes) {
+  Simulator sim;
+  MatrixLatencyModel latency(2, kMsec);
+  FaultModel faults;
+  Network net(&sim, &latency, &faults);
+  Recorder r;
+  net.Register(1, &r);
+  net.Send(0, 1, std::make_shared<TestMsg>());
+  net.Send(0, 1, std::make_shared<TestMsg>());
+  sim.RunAll();
+  EXPECT_EQ(net.stats().messages_sent, 2u);
+  EXPECT_EQ(net.stats().messages_delivered, 2u);
+  EXPECT_EQ(net.stats().bytes_sent, 200u);
+}
+
+TEST(FaultModel, DefaultsAreHonest) {
+  FaultModel faults;
+  EXPECT_FALSE(faults.Of(3).IsByzantine());
+  EXPECT_EQ(faults.num_byzantine(), 0u);
+  faults.Mutable(1).equivocate = true;
+  EXPECT_EQ(faults.num_byzantine(), 1u);
+  EXPECT_FALSE(faults.IsCrashedAt(1, 1000));
+}
+
+}  // namespace
+}  // namespace optilog

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace optilog {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.Next() == b.Next();
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowZeroAndOneReturnZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Below(0), 0u);
+  EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = rng.SampleIndices(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (size_t idx : sample) {
+      EXPECT_LT(idx, 20u);
+    }
+  }
+}
+
+TEST(Rng, SampleIndicesClampsToN) {
+  Rng rng(9);
+  EXPECT_EQ(rng.SampleIndices(3, 10).size(), 3u);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(123);
+  Rng child = parent.Fork();
+  // Child stream should not mirror parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += parent.Next() == child.Next();
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, Ci95ShrinksWithSamples) {
+  RunningStat small, large;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    small.Add(rng.Uniform());
+  }
+  for (int i = 0; i < 1000; ++i) {
+    large.Add(rng.Uniform());
+  }
+  EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat s;
+  EXPECT_EQ(s.ci95(), 0.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.0);
+}
+
+TEST(Percentile, Median) {
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({5}, 99), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(Percentile({3, 1, 2}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({3, 1, 2}, 100), 3.0);
+}
+
+TEST(Bytes, RoundTripIntegers) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  w.U8(0xab);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  w.I64(-42);
+  w.F64(3.14159);
+  ByteReader r(buf);
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_DOUBLE_EQ(r.F64(), 3.14159);
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(Bytes, RoundTripBlobsAndStrings) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  w.Str("hello");
+  w.Blob(Bytes{1, 2, 3});
+  w.Str("");
+  ByteReader r(buf);
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_EQ(r.Blob(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(Bytes, SizeAccounting) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  w.U32(1);
+  EXPECT_EQ(w.size(), 4u);
+  w.Str("abc");
+  EXPECT_EQ(w.size(), 4u + 4u + 3u);
+}
+
+class RngSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSweep, BelowIsRoughlyUniform) {
+  Rng rng(GetParam());
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.Below(bound)];
+  }
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(counts[b], trials / static_cast<int>(bound), 300)
+        << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSweep, ::testing::Values(1, 2, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace optilog
