@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/pbft/pbft_rsm.h"
+#include "src/api/deployment.h"
 
 namespace optilog {
 namespace {
@@ -20,39 +20,32 @@ struct Timeline {
   size_t suspicions = 0;
 };
 
-Timeline RunMode(PbftMode mode) {
-  auto cities = Europe21();
-  auto both = cities;  // clients colocated with replicas
-  both.insert(both.end(), cities.begin(), cities.end());
-  GeoLatencyModel latency(both);
-  Simulator sim;
-  FaultModel faults;
-  Network net(&sim, &latency, &faults);
-  KeyStore keys(21, 1);
-
+Timeline RunMode(Protocol protocol) {
   PbftOptions opts;
-  opts.n = 21;
-  opts.f = 6;
-  opts.mode = mode;
   opts.delta = 1.5;
   opts.optimize_at = 40 * kSec;
-  PbftHarness harness(&sim, &net, &keys, opts);
+  auto deployment = Deployment::Builder()
+                        .WithGeo(Europe21())
+                        .WithProtocol(protocol)
+                        .WithPbftOptions(opts)
+                        .Build();
 
   // At t = 82 s the replica that holds the leader role turns Byzantine.
-  sim.ScheduleAt(82 * kSec, [&] {
-    auto& f = faults.Mutable(harness.config().leader);
+  Deployment& d = *deployment;
+  d.sim().ScheduleAt(82 * kSec, [&d] {
+    auto& f = d.faults().Mutable(d.pbft().config().leader);
     f.proposal_delay = 800 * kMsec;
     f.fast_probes = true;
   });
 
-  harness.Start();
-  sim.RunUntil(180 * kSec);
+  d.Start();
+  d.RunUntil(180 * kSec);
 
   // Bucket the Nuremberg client's samples (city index 0).
   Timeline out;
   out.latency_per_bucket.assign(36, 0.0);
   std::vector<int> counts(36, 0);
-  for (const ClientSample& s : harness.client(0).samples()) {
+  for (const ClientSample& s : d.pbft().client(0).samples()) {
     const size_t bucket = static_cast<size_t>(s.at / (5 * kSec));
     if (bucket < out.latency_per_bucket.size()) {
       out.latency_per_bucket[bucket] += s.latency_ms;
@@ -64,16 +57,17 @@ Timeline RunMode(PbftMode mode) {
       out.latency_per_bucket[i] /= counts[i];
     }
   }
-  out.reconfig_times = harness.reconfigure_times();
-  out.suspicions = harness.suspicion_times().size();
+  const MetricsReport metrics = d.Metrics();
+  out.reconfig_times = metrics.reconfig_times;
+  out.suspicions = metrics.suspicions;
   return out;
 }
 
 void RunBench() {
   PrintHeader("Fig. 7: runtime Pre-Prepare delay attack (Nuremberg client)");
-  const Timeline pbft = RunMode(PbftMode::kPbft);
-  const Timeline aware = RunMode(PbftMode::kAware);
-  const Timeline opti = RunMode(PbftMode::kOptiAware);
+  const Timeline pbft = RunMode(Protocol::kPbft);
+  const Timeline aware = RunMode(Protocol::kAware);
+  const Timeline opti = RunMode(Protocol::kOptiAware);
 
   std::printf("%-10s %-16s %-16s %-16s\n", "time [s]", "BFT-SMaRt [ms]",
               "Aware [ms]", "OptiAware [ms]");

@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/hotstuff/tree_rsm.h"
+#include "src/api/deployment.h"
 #include "src/tree/kauri.h"
 
 namespace optilog {
@@ -23,40 +23,41 @@ struct Result {
   double latency_ms = 0;
 };
 
-Result RunOne(const std::vector<City>& cities, const TreeTopology& tree,
-              uint32_t pipeline, bool rotate_root) {
-  const uint32_t n = static_cast<uint32_t>(cities.size());
-  const uint32_t f = (n - 1) / 3;
-  GeoLatencyModel latency(cities);
-  Simulator sim;
-  FaultModel faults;
-  Network net(&sim, &latency, &faults);
-  net.SetBandwidthBps(kBandwidthBps);
-  KeyStore keys(n, 1);
-  const LatencyMatrix matrix = MatrixFromCities(cities);
-
+// A run over an explicit tree (OptiTree / Kauri series). The same tree is
+// reused across the pipelined and unpipelined variants.
+Result RunTree(const std::vector<City>& cities, Protocol protocol,
+               const TreeTopology& tree, uint32_t pipeline) {
   TreeRsmOptions opts;
-  opts.n = n;
-  opts.f = f;
   opts.pipeline_depth = pipeline;
-  opts.rotate_root = rotate_root;
-  TreeRsm rsm(&sim, &net, &keys, &matrix, opts);
-  rsm.SetTopology(tree);
-  rsm.Start();
-  sim.RunUntil(kRunTime);
-
-  Result r;
-  r.ops = rsm.throughput().MeanOps(1, static_cast<size_t>(kRunTime / kSec));
-  r.latency_ms = rsm.latency_rec().stat().mean();
-  return r;
+  auto d = Deployment::Builder()
+               .WithGeo(cities)
+               .WithProtocol(protocol)
+               .WithTopology(tree)
+               .WithTreeOptions(opts)
+               .WithBandwidth(kBandwidthBps)
+               .Build();
+  d->Start();
+  d->RunUntil(kRunTime);
+  const MetricsReport m = d->Metrics();
+  return Result{m.MeanOps(1, static_cast<size_t>(kRunTime / kSec)),
+                m.mean_latency_ms};
 }
 
-TreeTopology Star(uint32_t n) {
-  std::vector<ReplicaId> leaves;
-  for (ReplicaId id = 1; id < n; ++id) {
-    leaves.push_back(id);
-  }
-  return TreeTopology::Build({0}, leaves);
+// A HotStuff star (the builder's default topology for Protocol::kHotStuff).
+Result RunStar(const std::vector<City>& cities, bool rotate_root) {
+  TreeRsmOptions opts;
+  opts.rotate_root = rotate_root;
+  auto d = Deployment::Builder()
+               .WithGeo(cities)
+               .WithProtocol(Protocol::kHotStuff)
+               .WithTreeOptions(opts)
+               .WithBandwidth(kBandwidthBps)
+               .Build();
+  d->Start();
+  d->RunUntil(kRunTime);
+  const MetricsReport m = d->Metrics();
+  return Result{m.MeanOps(1, static_cast<size_t>(kRunTime / kSec)),
+                m.mean_latency_ms};
 }
 
 void RunConfig(const char* name, const std::vector<City>& cities) {
@@ -75,11 +76,11 @@ void RunConfig(const char* name, const std::vector<City>& cities) {
       AnnealTree(n, all, matrix, 2 * f + 1, rng, params);
   const TreeTopology kauri_tree = RandomTree(n, rng);
 
-  const Result opti_pipe = RunOne(cities, opti_tree, 3, false);
-  const Result opti_nopipe = RunOne(cities, opti_tree, 1, false);
-  const Result kauri_pipe = RunOne(cities, kauri_tree, 3, false);
-  const Result hs_rr = RunOne(cities, Star(n), 1, true);
-  const Result hs_fixed = RunOne(cities, Star(n), 1, false);
+  const Result opti_pipe = RunTree(cities, Protocol::kOptiTree, opti_tree, 3);
+  const Result opti_nopipe = RunTree(cities, Protocol::kOptiTree, opti_tree, 1);
+  const Result kauri_pipe = RunTree(cities, Protocol::kKauri, kauri_tree, 3);
+  const Result hs_rr = RunStar(cities, true);
+  const Result hs_fixed = RunStar(cities, false);
 
   std::printf("%-11s %9.0f /%7.0f %9.0f /%7.0f %9.0f /%7.0f %9.0f /%7.0f %9.0f /%7.0f\n",
               name, opti_pipe.ops, opti_pipe.latency_ms, opti_nopipe.ops,

@@ -4,11 +4,11 @@
 //
 // Paper shape: larger delay factors and more attackers cut throughput (up
 // to ~49%) and inflate latency; delta trades sensitivity for robustness.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/hotstuff/tree_rsm.h"
-#include "src/tree/kauri.h"
+#include "src/api/deployment.h"
 
 namespace optilog {
 namespace {
@@ -21,46 +21,36 @@ struct Result {
 };
 
 Result RunOne(double delay_factor, uint32_t num_faulty, uint64_t seed) {
-  const auto cities = Europe21();
-  const uint32_t n = 21, f = 6;
-  GeoLatencyModel latency(cities);
-  Simulator sim;
-  FaultModel faults;
-  Network net(&sim, &latency, &faults);
-  KeyStore keys(n, 1);
-  const LatencyMatrix matrix = MatrixFromCities(cities);
-
   TreeRsmOptions opts;
-  opts.n = n;
-  opts.f = f;
   // Timers are scaled by the same delta the attackers exploit: delays within
   // the factor raise no suspicion (§7.6).
   opts.delta = std::max(delay_factor, 1.1);
-  TreeRsm rsm(&sim, &net, &keys, &matrix, opts);
+  auto d = Deployment::Builder()
+               .WithGeo(Europe21())
+               .WithProtocol(Protocol::kOptiTree)
+               .WithSeed(seed)
+               .WithInitialSearch(ParamsForSearchSeconds(1.0))
+               .WithTreeOptions(opts)
+               .WithFaults([&](Deployment& dep) {
+                 // Randomly pick intermediates to turn faulty; they exhaust
+                 // the tolerated delay factor on every message (§7.6's worst
+                 // case).
+                 Rng rng(seed * 977 + 5);
+                 std::vector<ReplicaId> inters =
+                     dep.tree().topology().intermediates();
+                 rng.Shuffle(inters);
+                 for (uint32_t i = 0; i < num_faulty && i < inters.size(); ++i) {
+                   dep.faults().Mutable(inters[i]).outbound_delay_factor =
+                       delay_factor;
+                 }
+               })
+               .Build();
 
-  Rng rng(seed);
-  std::vector<ReplicaId> all(n);
-  for (ReplicaId id = 0; id < n; ++id) {
-    all[id] = id;
-  }
-  const AnnealingParams params = ParamsForSearchSeconds(1.0);
-  const TreeTopology tree = AnnealTree(n, all, matrix, 2 * f + 1, rng, params);
-  rsm.SetTopology(tree);
-
-  // Randomly pick intermediates to turn faulty; they exhaust the tolerated
-  // delay factor on every message (§7.6's worst case).
-  std::vector<ReplicaId> inters = tree.intermediates();
-  rng.Shuffle(inters);
-  for (uint32_t i = 0; i < num_faulty && i < inters.size(); ++i) {
-    faults.Mutable(inters[i]).outbound_delay_factor = delay_factor;
-  }
-
-  rsm.Start();
-  sim.RunUntil(kRunTime);
-  Result r;
-  r.ops = rsm.throughput().MeanOps(1, static_cast<size_t>(kRunTime / kSec));
-  r.latency_ms = rsm.latency_rec().stat().mean();
-  return r;
+  d->Start();
+  d->RunUntil(kRunTime);
+  const MetricsReport m = d->Metrics();
+  return Result{m.MeanOps(1, static_cast<size_t>(kRunTime / kSec)),
+                m.mean_latency_ms};
 }
 
 // Average over several random fault placements (the paper averages runs with

@@ -4,111 +4,58 @@
 //
 // Paper shape: throughput drops to zero at each failure and recovers about
 // one second later (the SA search window).
+//
+// The OptiLog loop — suspicions committed to the measurement bus, monitors
+// recomputing the candidate set, SA over the survivors, a one-second search
+// pause — is the deployment's WithOptiLogReconfig wiring.
 #include <cstdio>
-#include <set>
 
 #include "bench/bench_util.h"
-#include "src/core/misbehavior_monitor.h"
-#include "src/core/suspicion_monitor.h"
-#include "src/hotstuff/tree_rsm.h"
-#include "src/tree/kauri.h"
+#include "src/api/deployment.h"
 
 namespace optilog {
 namespace {
 
-constexpr uint32_t kN = 21, kF = 6;
+constexpr uint32_t kF = 6;
 constexpr SimTime kRunTime = 90 * kSec;
 
 void RunBench() {
-  const auto cities = Europe21();
-  GeoLatencyModel latency(cities);
-  Simulator sim;
-  FaultModel faults;
-  Network net(&sim, &latency, &faults);
-  KeyStore keys(kN, 1);
-  const LatencyMatrix matrix = MatrixFromCities(cities);
-
   TreeRsmOptions opts;
-  opts.n = kN;
-  opts.f = kF;
   opts.pipeline_depth = 3;
-  TreeRsm rsm(&sim, &net, &keys, &matrix, opts);
-
-  // OptiLog machinery shared by the (deterministic) monitors.
-  MisbehaviorMonitor misbehavior(kN, &keys);
-  SuspicionMonitorOptions sopts;
-  sopts.policy = CandidatePolicy::kTreeDisjointEdges;
-  sopts.min_candidates = BranchFactorFor(kN) + 1;
-  SuspicionMonitor monitor(kN, kF, &misbehavior, sopts);
-
-  Rng rng(7);
-  std::vector<ReplicaId> all(kN);
-  for (ReplicaId id = 0; id < kN; ++id) {
-    all[id] = id;
-  }
-  const AnnealingParams params = ParamsForSearchSeconds(1.0);
-  rsm.SetTopology(AnnealTree(kN, all, matrix, 2 * kF + 1, rng, params));
+  auto deployment = Deployment::Builder()
+                        .WithGeo(Europe21())
+                        .WithProtocol(Protocol::kOptiTree)
+                        .WithSeed(7)
+                        .WithInitialSearch(ParamsForSearchSeconds(1.0))
+                        .WithTreeOptions(opts)
+                        .WithOptiLogReconfig(/*search_window=*/1 * kSec)
+                        .Build();
+  Deployment& d = *deployment;
 
   // The root crashes every 10 seconds, up to the fault budget f.
-  std::set<ReplicaId> crashed;
   for (SimTime t = 10 * kSec; t <= 10 * kSec * kF; t += 10 * kSec) {
-    sim.ScheduleAt(t, [&rsm, &faults, &crashed, &sim] {
-      const ReplicaId root = rsm.topology().root();
-      faults.Mutable(root).crash_at = sim.now();
-      crashed.insert(root);
+    d.sim().ScheduleAt(t, [&d] {
+      const ReplicaId root = d.tree().topology().root();
+      d.faults().Mutable(root).crash_at = d.sim().now();
     });
   }
 
-  // Reconfiguration policy: feed the recorded suspicions into the monitor,
-  // pause one second for the SA search, and deploy the best tree over the
-  // surviving candidate set.
-  size_t consumed_suspicions = 0;
-  rsm.SetReconfigPolicy([&](TreeRsm& r) -> std::optional<TreeTopology> {
-    const auto& log = r.logged_suspicions();
-    for (; consumed_suspicions < log.size(); ++consumed_suspicions) {
-      monitor.OnSuspicion(log[consumed_suspicions], true);
-    }
-    monitor.OnView(consumed_suspicions);
-    CandidateSet k = monitor.Current();
-    // Crashed replicas reciprocate nothing; drop them from the pool now
-    // rather than waiting f + 1 views (the paper's C set).
-    std::vector<ReplicaId> pool;
-    for (ReplicaId id : k.candidates) {
-      if (crashed.count(id) == 0) {
-        pool.push_back(id);
-      }
-    }
-    if (pool.size() < BranchFactorFor(kN) + 1) {
-      return std::nullopt;
-    }
-    // Intermediates stop waiting for replicas outside the candidate pool —
-    // the protocol-level effect of the u estimate.
-    std::set<ReplicaId> excluded;
-    for (ReplicaId id = 0; id < kN; ++id) {
-      if (crashed.count(id) > 0) {
-        excluded.insert(id);
-      }
-    }
-    r.SetExcluded(std::move(excluded));
-    r.PauseProposals(1 * kSec);  // the SA search window
-    return AnnealTree(kN, pool, matrix, 2 * kF + 1 + k.u, rng, params);
-  });
+  d.Start();
+  d.RunUntil(kRunTime);
 
-  rsm.Start();
-  sim.RunUntil(kRunTime);
-
+  const MetricsReport m = d.Metrics();
   PrintHeader("Fig. 15: reconfiguration timeline (root fails every 10 s)");
   std::printf("%-10s %-12s\n", "time [s]", "ops/s");
-  const auto& series = rsm.throughput().per_second();
   for (size_t sec = 0; sec < kRunTime / kSec; ++sec) {
-    const uint64_t ops = sec < series.size() ? series[sec] : 0;
+    const uint64_t ops =
+        sec < m.throughput_per_sec.size() ? m.throughput_per_sec[sec] : 0;
     std::printf("%-10zu %-12llu\n", sec, static_cast<unsigned long long>(ops));
   }
   std::printf("\nReconfigurations: %llu, failed rounds: %llu, suspicions "
-              "logged: %zu\n",
-              static_cast<unsigned long long>(rsm.reconfigurations()),
-              static_cast<unsigned long long>(rsm.failed_rounds()),
-              rsm.logged_suspicions().size());
+              "logged: %llu\n",
+              static_cast<unsigned long long>(m.reconfigurations),
+              static_cast<unsigned long long>(m.failed_rounds),
+              static_cast<unsigned long long>(m.suspicions));
   std::printf("Shape check: throughput dips to ~0 at each failure and "
               "recovers within ~1-2 s (timeout + SA search).\n");
 }

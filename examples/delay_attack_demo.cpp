@@ -11,44 +11,37 @@
 //   $ ./delay_attack_demo
 #include <cstdio>
 
-#include "src/net/geo.h"
-#include "src/pbft/pbft_rsm.h"
+#include "src/api/deployment.h"
 
 using namespace optilog;
 
 int main() {
-  auto cities = Europe21();
-  auto both = cities;
-  both.insert(both.end(), cities.begin(), cities.end());  // clients colocated
-  GeoLatencyModel latency(both);
-  Simulator sim;
-  FaultModel faults;
-  Network net(&sim, &latency, &faults);
-  KeyStore keys(21, 1);
-
   PbftOptions options;
-  options.n = 21;
-  options.f = 6;
-  options.mode = PbftMode::kOptiAware;
   options.delta = 1.5;
   options.optimize_at = 5 * kSec;
-  PbftHarness harness(&sim, &net, &keys, options);
+  auto deployment = Deployment::Builder()
+                        .WithGeo(Europe21())
+                        .WithProtocol(Protocol::kOptiAware)
+                        .WithPbftOptions(options)
+                        .Build();
+  Deployment& d = *deployment;
+  const std::vector<City>& cities = d.cities();
 
   ReplicaId attacker = kNoReplica;
-  sim.ScheduleAt(10 * kSec, [&] {
-    attacker = harness.config().leader;
-    auto& f = faults.Mutable(attacker);
+  d.sim().ScheduleAt(10 * kSec, [&] {
+    attacker = d.pbft().config().leader;
+    auto& f = d.faults().Mutable(attacker);
     f.proposal_delay = 500 * kMsec;
     f.fast_probes = true;
     std::printf("[%5.1fs] leader %u (%s) starts the Pre-Prepare delay attack\n",
-                ToSec(sim.now()), attacker, cities[attacker].name.c_str());
+                ToSec(d.sim().now()), attacker, cities[attacker].name.c_str());
   });
 
-  harness.Start();
-  sim.RunUntil(40 * kSec);
+  d.Start();
+  d.RunUntil(40 * kSec);
 
   std::printf("\nClient latency (Nuremberg), 2 s buckets:\n");
-  const auto& samples = harness.client(0).samples();
+  const auto& samples = d.pbft().client(0).samples();
   double bucket_sum = 0;
   int bucket_count = 0;
   SimTime bucket_end = 2 * kSec;
@@ -66,11 +59,14 @@ int main() {
     ++bucket_count;
   }
 
-  std::printf("\nsuspicions logged: %zu\n", harness.suspicion_times().size());
-  std::printf("reconfigurations: %zu\n", harness.reconfigure_times().size());
-  std::printf("final leader: %u (%s)%s\n", harness.config().leader,
-              cities[harness.config().leader].name.c_str(),
-              harness.config().leader == attacker ? "  [ATTACK NOT MITIGATED]"
-                                                  : "  [attacker deposed]");
-  return harness.config().leader == attacker ? 1 : 0;
+  const MetricsReport metrics = d.Metrics();
+  const ReplicaId leader = d.pbft().config().leader;
+  std::printf("\nsuspicions logged: %llu\n",
+              static_cast<unsigned long long>(metrics.suspicions));
+  std::printf("reconfigurations: %llu\n",
+              static_cast<unsigned long long>(metrics.reconfigurations));
+  std::printf("final leader: %u (%s)%s\n", leader, cities[leader].name.c_str(),
+              leader == attacker ? "  [ATTACK NOT MITIGATED]"
+                                 : "  [attacker deposed]");
+  return leader == attacker ? 1 : 0;
 }

@@ -35,6 +35,7 @@ int main() {
 
   RoleConfig active_config;
   double active_score = 0;
+  bool reconfigured = false;
   Pipeline pipeline(
       /*self=*/0, kN, kF, &keys, &space,
       /*propose=*/[&](Bytes payload) { proposals.push_back(std::move(payload)); },
@@ -42,6 +43,7 @@ int main() {
       [&](const RoleConfig& cfg, double score) {
         active_config = cfg;
         active_score = score;
+        reconfigured = true;
         std::printf("-> reconfigure! new root %u, predicted score %.2f ms\n",
                     cfg.leader, score);
       },
@@ -110,6 +112,15 @@ int main() {
     }
   }
 
+  if (!reconfigured) {
+    // Without a reconfiguration, active_config is default-constructed and
+    // decoding it as a tree would read an empty parent vector.
+    std::fprintf(stderr,
+                 "error: the config monitor never reconfigured — expected "
+                 "f + 1 = %u valid proposals, got %zu pending\n",
+                 kF + 1, pipeline.config_monitor().pending_proposals());
+    return 1;
+  }
   const TreeTopology tree = TreeTopology::FromConfig(active_config);
   std::printf("active tree: root %u with %zu intermediates, score %.2f ms\n",
               tree.root(), tree.intermediates().size(), active_score);

@@ -2,115 +2,71 @@
 // "simulated Stellar network"), including a mid-run failure of an
 // intermediate node and the suspicion-driven recovery.
 //
+// The OptiLog recovery loop (suspicions -> measurement bus -> candidate set
+// -> SA over the survivors) is the deployment's WithOptiLogReconfig wiring.
+//
 //   $ ./stellar_network
 #include <cstdio>
 
-#include "src/core/misbehavior_monitor.h"
-#include "src/core/suspicion_monitor.h"
-#include "src/hotstuff/tree_rsm.h"
-#include "src/net/geo.h"
-#include "src/tree/kauri.h"
+#include "src/api/deployment.h"
 
 using namespace optilog;
 
 int main() {
-  const auto cities = Stellar56();
   const uint32_t n = 56, f = 18;
-  GeoLatencyModel latency(cities);
-  Simulator sim;
-  FaultModel faults;
-  Network net(&sim, &latency, &faults);
-  net.SetBandwidthBps(500e6);
-  KeyStore keys(n, 1);
-
-  const auto rtts = RttMatrixMs(cities);
-  LatencyMatrix matrix(n);
-  for (ReplicaId a = 0; a < n; ++a) {
-    for (ReplicaId b = 0; b < n; ++b) {
-      if (a != b) {
-        matrix.Record(a, b, rtts[a][b]);
-      }
-    }
-  }
 
   TreeRsmOptions opts;
-  opts.n = n;
-  opts.f = f;
   opts.pipeline_depth = 3;
   // OptiTree's reconfiguration rule: more than u missing votes fails the
   // round (§7.5). With u = 0 the root expects all but a few replicas, so a
   // crashed subtree is noticed instead of silently tolerated.
   opts.votes_required = n - 4;
-  TreeRsm rsm(&sim, &net, &keys, &matrix, opts);
 
-  Rng rng(56);
-  std::vector<ReplicaId> all(n);
-  for (ReplicaId id = 0; id < n; ++id) {
-    all[id] = id;
-  }
-  const AnnealingParams params = AnnealingParams::ForBudget(5000);
-  const TreeTopology tree = AnnealTree(n, all, matrix, 2 * f + 1, rng, params);
-  rsm.SetTopology(tree);
+  ReplicaId victim = kNoReplica;
+  auto deployment =
+      Deployment::Builder()
+          .WithGeo(Stellar56())
+          .WithReplicas(n, f)
+          .WithProtocol(Protocol::kOptiTree)
+          .WithSeed(56)
+          .WithInitialSearch(AnnealingParams::ForBudget(5000))
+          .WithBandwidth(500e6)
+          .WithTreeOptions(opts)
+          .WithOptiLogReconfig(/*search_window=*/1 * kSec)
+          .WithFaults([&victim](Deployment& dep) {
+            // An intermediate crashes at t = 15 s; OptiLog's machinery picks
+            // the replacement tree from the surviving candidates.
+            victim = dep.tree().topology().intermediates()[1];
+            dep.faults().Mutable(victim).crash_at = 15 * kSec;
+          })
+          .Build();
+  Deployment& d = *deployment;
+  const std::vector<City>& cities = d.cities();
+
+  const TreeTopology& tree = d.tree().topology();
   std::printf("Stellar56 OptiTree: root %s, %zu intermediates, b = %u\n",
               cities[tree.root()].name.c_str(), tree.intermediates().size(),
               BranchFactorFor(n));
 
-  // An intermediate crashes at t = 15 s; OptiLog's machinery picks the
-  // replacement tree from the surviving candidates.
-  const ReplicaId victim = tree.intermediates()[1];
-  faults.Mutable(victim).crash_at = 15 * kSec;
+  d.Start();
+  d.RunUntil(40 * kSec);
 
-  MisbehaviorMonitor misbehavior(n, &keys);
-  SuspicionMonitorOptions sopts;
-  sopts.policy = CandidatePolicy::kTreeDisjointEdges;
-  sopts.min_candidates = BranchFactorFor(n) + 1;
-  SuspicionMonitor monitor(n, f, &misbehavior, sopts);
-
-  size_t consumed = 0;
-  rsm.SetReconfigPolicy([&](TreeRsm& r) -> std::optional<TreeTopology> {
-    const auto& log = r.logged_suspicions();
-    for (; consumed < log.size(); ++consumed) {
-      monitor.OnSuspicion(log[consumed], true);
-    }
-    monitor.OnView(consumed);
-    std::vector<ReplicaId> pool;
-    for (ReplicaId id : monitor.Current().candidates) {
-      if (id != victim) {
-        pool.push_back(id);
-      }
-    }
-    if (pool.size() < BranchFactorFor(n) + 1) {
-      return std::nullopt;
-    }
-    r.SetExcluded({victim});
-    r.PauseProposals(1 * kSec);
-    std::printf("[%5.1fs] reconfiguring: %zu candidates, u = %u\n",
-                ToSec(r.sim()->now()), pool.size(), monitor.Current().u);
-    return AnnealTree(n, pool, matrix, 2 * f + 1 + monitor.Current().u, rng,
-                      params);
-  });
-
-  rsm.Start();
-  sim.RunUntil(40 * kSec);
-
+  const MetricsReport m = d.Metrics();
   std::printf("\n%-28s %llu blocks (%llu ops)\n", "committed:",
-              static_cast<unsigned long long>(rsm.committed_blocks()),
-              static_cast<unsigned long long>(rsm.throughput().total()));
-  std::printf("%-28s %.1f ms\n", "mean consensus latency:",
-              rsm.latency_rec().stat().mean());
+              static_cast<unsigned long long>(m.committed),
+              static_cast<unsigned long long>(m.total_commands));
+  std::printf("%-28s %.1f ms\n", "mean consensus latency:", m.mean_latency_ms);
   std::printf("%-28s %llu (victim %s at t=15s)\n", "reconfigurations:",
-              static_cast<unsigned long long>(rsm.reconfigurations()),
+              static_cast<unsigned long long>(m.reconfigurations),
               cities[victim].name.c_str());
   std::printf("%-28s ", "throughput 10..14s:");
-  for (size_t s = 10; s < 15; ++s) {
-    std::printf("%llu ", static_cast<unsigned long long>(
-                             rsm.throughput().per_second()[s]));
+  for (size_t s = 10; s < 15 && s < m.throughput_per_sec.size(); ++s) {
+    std::printf("%llu ", static_cast<unsigned long long>(m.throughput_per_sec[s]));
   }
   std::printf("\n%-28s ", "throughput 15..22s:");
-  for (size_t s = 15; s < 23 && s < rsm.throughput().per_second().size(); ++s) {
-    std::printf("%llu ", static_cast<unsigned long long>(
-                             rsm.throughput().per_second()[s]));
+  for (size_t s = 15; s < 23 && s < m.throughput_per_sec.size(); ++s) {
+    std::printf("%llu ", static_cast<unsigned long long>(m.throughput_per_sec[s]));
   }
   std::printf("\n");
-  return rsm.committed_blocks() > 0 ? 0 : 1;
+  return m.committed > 0 ? 0 : 1;
 }

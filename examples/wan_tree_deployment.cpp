@@ -7,9 +7,7 @@
 //   $ ./wan_tree_deployment
 #include <cstdio>
 
-#include "src/hotstuff/tree_rsm.h"
-#include "src/net/geo.h"
-#include "src/tree/kauri.h"
+#include "src/api/deployment.h"
 
 using namespace optilog;
 
@@ -20,74 +18,42 @@ struct Outcome {
   double latency_ms;
 };
 
-Outcome Run(const TreeTopology& tree, const std::vector<City>& cities) {
-  const uint32_t n = static_cast<uint32_t>(cities.size());
-  GeoLatencyModel latency(cities);
-  Simulator sim;
-  FaultModel faults;
-  Network net(&sim, &latency, &faults);
-  net.SetBandwidthBps(500e6);
-  KeyStore keys(n, 1);
+Outcome Run(Protocol protocol, const char* label) {
+  TreeRsmOptions opts;
+  opts.pipeline_depth = 3;
+  auto d = Deployment::Builder()
+               .WithGeo(Global73())
+               .WithReplicas(73, 24)
+               .WithProtocol(protocol)
+               .WithSeed(12)
+               .WithInitialSearch(AnnealingParams::ForBudget(5000))
+               .WithBandwidth(500e6)
+               .WithTreeOptions(opts)
+               .Build();
 
-  const auto rtts = RttMatrixMs(cities);
-  LatencyMatrix matrix(n);
-  for (ReplicaId a = 0; a < n; ++a) {
-    for (ReplicaId b = 0; b < n; ++b) {
-      if (a != b) {
-        matrix.Record(a, b, rtts[a][b]);
-      }
+  const std::vector<City>& cities = d->cities();
+  const TreeTopology& tree = d->tree().topology();
+  std::printf("%s tree root: %s", label, cities[tree.root()].name.c_str());
+  if (!tree.intermediates().empty()) {
+    std::printf("; intermediates:");
+    for (ReplicaId inter : tree.intermediates()) {
+      std::printf(" %s,", cities[inter].name.c_str());
     }
   }
+  std::printf("\n");
 
-  TreeRsmOptions opts;
-  opts.n = n;
-  opts.f = (n - 1) / 3;
-  opts.pipeline_depth = 3;
-  TreeRsm rsm(&sim, &net, &keys, &matrix, opts);
-  rsm.SetTopology(tree);
-  rsm.Start();
-  sim.RunUntil(30 * kSec);
-  return Outcome{rsm.throughput().MeanOps(1, 30),
-                 rsm.latency_rec().stat().mean()};
+  d->Start();
+  d->RunUntil(30 * kSec);
+  const MetricsReport m = d->Metrics();
+  return Outcome{m.MeanOps(1, 30), m.mean_latency_ms};
 }
 
 }  // namespace
 
 int main() {
-  const auto cities = Global73();
-  const uint32_t n = 73, f = 24;
-
-  const auto rtts = RttMatrixMs(cities);
-  LatencyMatrix matrix(n);
-  for (ReplicaId a = 0; a < n; ++a) {
-    for (ReplicaId b = 0; b < n; ++b) {
-      if (a != b) {
-        matrix.Record(a, b, rtts[a][b]);
-      }
-    }
-  }
-
-  Rng rng(12);
-  const TreeTopology kauri = RandomTree(n, rng);
-
-  std::vector<ReplicaId> all(n);
-  for (ReplicaId id = 0; id < n; ++id) {
-    all[id] = id;
-  }
-  const TreeTopology opti =
-      AnnealTree(n, all, matrix, 2 * f + 1, rng, AnnealingParams::ForBudget(5000));
-
-  std::printf("Kauri (random) tree root: %s\n",
-              cities[kauri.root()].name.c_str());
-  std::printf("OptiTree root: %s; intermediates:", cities[opti.root()].name.c_str());
-  for (ReplicaId inter : opti.intermediates()) {
-    std::printf(" %s,", cities[inter].name.c_str());
-  }
-  std::printf("\n\n");
-
-  const Outcome k = Run(kauri, cities);
-  const Outcome o = Run(opti, cities);
-  std::printf("%-22s %12s %14s\n", "protocol", "ops/s", "latency [ms]");
+  const Outcome k = Run(Protocol::kKauri, "Kauri (random)");
+  const Outcome o = Run(Protocol::kOptiTree, "OptiTree");
+  std::printf("\n%-22s %12s %14s\n", "protocol", "ops/s", "latency [ms]");
   std::printf("%-22s %12.0f %14.1f\n", "Kauri (random tree)", k.ops, k.latency_ms);
   std::printf("%-22s %12.0f %14.1f\n", "OptiTree (SA tree)", o.ops, o.latency_ms);
   std::printf("\nOptiTree: %+.0f%% throughput, %+.0f%% latency vs Kauri\n",

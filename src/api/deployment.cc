@@ -1,0 +1,269 @@
+#include "src/api/deployment.h"
+
+#include <utility>
+
+#include "src/tree/kauri.h"
+#include "src/util/check.h"
+
+namespace optilog {
+
+// --- Deployment --------------------------------------------------------------
+
+ConsensusEngine& Deployment::engine() {
+  if (tree_ != nullptr) {
+    return *tree_;
+  }
+  OL_CHECK(pbft_ != nullptr);
+  return *pbft_;
+}
+
+TreeRsm& Deployment::tree() {
+  OL_CHECK(tree_ != nullptr);
+  return *tree_;
+}
+
+PbftHarness& Deployment::pbft() {
+  OL_CHECK(pbft_ != nullptr);
+  return *pbft_;
+}
+
+const Pipeline* Deployment::pipeline() const {
+  if (pipeline_ != nullptr) {
+    return pipeline_.get();
+  }
+  if (pbft_ != nullptr) {
+    return &pbft_->pipeline();
+  }
+  return nullptr;
+}
+
+std::optional<TreeTopology> Deployment::OptiLogReconfig(TreeRsm& rsm) {
+  // Commit every suspicion the protocol recorded since the last failure:
+  // signed by the suspector, appended as a measurement entry, dispatched to
+  // the deterministic monitors at the commit boundary.
+  const auto& suspicions = rsm.logged_suspicions();
+  for (; consumed_suspicions_ < suspicions.size(); ++consumed_suspicions_) {
+    AppendMeasurement(
+        log_, sim_.now(),
+        MakeSuspicionMeasurement(suspicions[consumed_suspicions_], *keys_).Encode());
+  }
+  pipeline_->OnView(consumed_suspicions_);
+
+  // Crashed replicas reciprocate nothing; drop them from the pool now rather
+  // than waiting f + 1 views (the paper's C set), and stop intermediates
+  // from waiting for their votes — the protocol-level effect of u (§6.2).
+  std::set<ReplicaId> excluded;
+  for (ReplicaId id = 0; id < n_; ++id) {
+    if (faults_.IsCrashedAt(id, sim_.now())) {
+      excluded.insert(id);
+    }
+  }
+  const CandidateSet& k = pipeline_->suspicion_monitor().Current();
+  std::vector<ReplicaId> pool;
+  for (ReplicaId id : k.candidates) {
+    if (excluded.count(id) == 0) {
+      pool.push_back(id);
+    }
+  }
+  if (pool.size() < BranchFactorFor(n_) + 1) {
+    return std::nullopt;
+  }
+  rsm.SetExcluded(std::move(excluded));
+  if (search_window_ > 0) {
+    rsm.PauseProposals(search_window_);  // the SA search window (Fig. 15)
+  }
+  return AnnealTree(n_, pool, matrix_, 2 * f_ + 1 + k.u, reconfig_rng_,
+                    search_params_);
+}
+
+// --- Builder -----------------------------------------------------------------
+
+Deployment::Builder& Deployment::Builder::WithReplicas(uint32_t n, uint32_t f) {
+  n_ = n;
+  f_ = f;
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithGeo(std::vector<City> cities) {
+  cities_ = std::move(cities);
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithProtocol(Protocol protocol) {
+  protocol_ = protocol;
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithFaults(
+    std::function<void(Deployment&)> configure) {
+  faults_ = std::move(configure);
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithPipeline(Pipeline::Options opts) {
+  pipeline_opts_ = std::move(opts);
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithBandwidth(double bps) {
+  bandwidth_bps_ = bps;
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithSeed(uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithTreeOptions(TreeRsmOptions opts) {
+  tree_opts_ = std::move(opts);
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithPbftOptions(PbftOptions opts) {
+  pbft_opts_ = std::move(opts);
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithTopology(TreeTopology tree) {
+  topology_ = std::move(tree);
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithInitialSearch(
+    AnnealingParams params) {
+  search_params_ = params;
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithOptiLogReconfig(
+    SimTime search_window) {
+  optilog_reconfig_ = true;
+  search_window_ = search_window;
+  return *this;
+}
+
+std::unique_ptr<Deployment> Deployment::Builder::Build() {
+  auto d = std::unique_ptr<Deployment>(new Deployment());
+  d->protocol_ = protocol_;
+  const uint64_t seed = seed_.value_or(1);
+
+  // Size and geography: either determines the other's default.
+  if (cities_.empty()) {
+    OL_CHECK(n_.has_value());
+    cities_ = GlobalN(*n_, seed);
+  }
+  d->n_ = n_.value_or(static_cast<uint32_t>(cities_.size()));
+  OL_CHECK(d->n_ >= 4);
+  OL_CHECK(d->n_ <= cities_.size());
+  d->f_ = f_.value_or((d->n_ - 1) / 3);
+  d->cities_.assign(cities_.begin(), cities_.begin() + d->n_);
+
+  // Latency model. The PBFT family colocates one client per replica city
+  // (client id = n + replica id), so the model covers both id ranges.
+  std::vector<City> model_cities = d->cities_;
+  if (!IsTreeProtocol(protocol_)) {
+    model_cities.insert(model_cities.end(), d->cities_.begin(), d->cities_.end());
+  }
+  d->latency_model_ = std::make_unique<GeoLatencyModel>(model_cities);
+  d->net_ = std::make_unique<Network>(&d->sim_, d->latency_model_.get(),
+                                      &d->faults_);
+  if (bandwidth_bps_ > 0) {
+    d->net_->SetBandwidthBps(bandwidth_bps_);
+  }
+  d->keys_ = std::make_unique<KeyStore>(d->n_, seed);
+
+  // The measured latency matrix after one complete probe round.
+  const auto rtts = RttMatrixMs(d->cities_);
+  d->matrix_.Reset(d->n_);
+  for (ReplicaId a = 0; a < d->n_; ++a) {
+    for (ReplicaId b = 0; b < d->n_; ++b) {
+      if (a != b) {
+        d->matrix_.Record(a, b, rtts[a][b]);
+      }
+    }
+  }
+
+  if (IsTreeProtocol(protocol_)) {
+    TreeRsmOptions topts = tree_opts_;
+    topts.n = d->n_;
+    topts.f = d->f_;
+    d->tree_ = std::make_unique<TreeRsm>(&d->sim_, d->net_.get(),
+                                         d->keys_.get(), &d->matrix_, topts);
+
+    d->search_params_ = search_params_.value_or(AnnealingParams::ForBudget(5000));
+    d->reconfig_rng_ = Rng(seed ^ 0x5deece66dull);
+    Rng rng(seed);
+    TreeTopology initial;
+    if (topology_.has_value()) {
+      initial = *topology_;
+    } else if (protocol_ == Protocol::kHotStuff) {
+      std::vector<ReplicaId> leaves;
+      for (ReplicaId id = 1; id < d->n_; ++id) {
+        leaves.push_back(id);
+      }
+      initial = TreeTopology::Build({0}, leaves);
+    } else if (protocol_ == Protocol::kKauri) {
+      initial = RandomTree(d->n_, rng);
+    } else {  // kOptiTree: SA over all replicas, k = 2f + 1 (§7.3)
+      std::vector<ReplicaId> all(d->n_);
+      for (ReplicaId id = 0; id < d->n_; ++id) {
+        all[id] = id;
+      }
+      initial = AnnealTree(d->n_, all, d->matrix_, 2 * d->f_ + 1, rng,
+                           d->search_params_);
+    }
+    d->tree_->SetTopology(initial);
+
+    if (optilog_reconfig_) {
+      d->tree_space_ =
+          std::make_unique<TreeConfigSpace>(d->n_, 2 * d->f_ + 1);
+      Pipeline::Options popts;
+      if (pipeline_opts_.has_value()) {
+        popts = *pipeline_opts_;
+      } else {
+        // Tree defaults: the E_d/T policy with enough candidates for the
+        // internal positions (§6.4).
+        popts.suspicion.policy = CandidatePolicy::kTreeDisjointEdges;
+        popts.suspicion.min_candidates = BranchFactorFor(d->n_) + 1;
+      }
+      popts.rng_seed = seed;
+      // The deployment answers for no replica; reciprocation is protocol
+      // business (crashed replicas must stay silent).
+      popts.auto_reciprocate = false;
+      Deployment* dp = d.get();
+      d->pipeline_ = std::make_unique<Pipeline>(
+          /*self=*/0, d->n_, d->f_, d->keys_.get(), d->tree_space_.get(),
+          [dp](Bytes payload) {
+            AppendMeasurement(dp->log_, dp->sim_.now(), std::move(payload));
+          },
+          /*reconfigure=*/[](const RoleConfig&, double) {}, popts);
+      d->log_.AddListener([dp](const LogEntry& e) { dp->pipeline_->OnCommit(e); });
+      d->search_window_ = search_window_;
+      d->tree_->SetReconfigPolicy(
+          [dp](TreeRsm& rsm) { return dp->OptiLogReconfig(rsm); });
+    }
+  } else {
+    PbftOptions popts = pbft_opts_;
+    popts.n = d->n_;
+    popts.f = d->f_;
+    popts.mode = protocol_ == Protocol::kPbft    ? PbftMode::kPbft
+                 : protocol_ == Protocol::kAware ? PbftMode::kAware
+                                                 : PbftMode::kOptiAware;
+    if (pipeline_opts_.has_value()) {
+      popts.pipeline = *pipeline_opts_;
+    }
+    if (seed_.has_value()) {
+      popts.seed = *seed_;  // unset: PbftOptions keeps its own default
+    }
+    d->pbft_ = std::make_unique<PbftHarness>(&d->sim_, d->net_.get(),
+                                             d->keys_.get(), popts);
+  }
+
+  if (faults_) {
+    faults_(*d);
+  }
+  return d;
+}
+
+}  // namespace optilog

@@ -1,0 +1,189 @@
+// Deployment: one front door for every protocol harness.
+//
+// Before this layer, every bench and example re-implemented the same ~40
+// lines of substrate wiring — Simulator, GeoLatencyModel, FaultModel,
+// Network, KeyStore, LatencyMatrix, harness construction, topology search —
+// with protocol-specific variations sprinkled in. The builder owns all of
+// it behind a fluent API:
+//
+//   auto d = Deployment::Builder()
+//                .WithGeo(Europe21())
+//                .WithProtocol(Protocol::kOptiAware)
+//                .Build();
+//   d->Start();
+//   d->RunUntil(60 * kSec);
+//   MetricsReport m = d->Metrics();
+//
+// Protocol selection picks the engine (TreeRsm for the HotStuff/Kauri/
+// OptiTree family, PbftHarness for the weighted-PBFT family) and sensible
+// defaults for the initial configuration: a star for HotStuff, a random
+// height-3 tree for Kauri, a simulated-annealing tree for OptiTree, and
+// leader-0 weighted quorums for the PBFT modes. `WithOptiLogReconfig` wires
+// the full pipeline loop for tree protocols: recorded suspicions are
+// signed, committed through the deployment's log, dispatched to the
+// deterministic monitors, and the reconfiguration policy anneals the next
+// tree over the surviving candidate set (see DESIGN.md).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/api/consensus_engine.h"
+#include "src/core/pipeline.h"
+#include "src/hotstuff/tree_rsm.h"
+#include "src/net/geo.h"
+#include "src/net/latency_model.h"
+#include "src/net/network.h"
+#include "src/pbft/pbft_rsm.h"
+#include "src/rsm/log.h"
+#include "src/tree/tree_space.h"
+
+namespace optilog {
+
+enum class Protocol {
+  kHotStuff,   // star of depth 1; rotate_root in TreeRsmOptions gives -rr
+  kKauri,      // random height-3 tree (pipelining via TreeRsmOptions)
+  kOptiTree,   // SA-optimized tree; pair with WithOptiLogReconfig
+  kPbft,       // BFT-SMaRt baseline: fixed leader, uniform weights
+  kAware,      // weighted PBFT + scheduled (leader, Vmax) optimization
+  kOptiAware,  // Aware + the OptiLog suspicion/reconfiguration pipeline
+};
+
+inline bool IsTreeProtocol(Protocol p) {
+  return p == Protocol::kHotStuff || p == Protocol::kKauri ||
+         p == Protocol::kOptiTree;
+}
+
+class Deployment {
+ public:
+  class Builder;
+
+  // --- substrate -------------------------------------------------------------
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  FaultModel& faults() { return faults_; }
+  const KeyStore& keys() const { return *keys_; }
+  const LatencyMatrix& matrix() const { return matrix_; }
+  const std::vector<City>& cities() const { return cities_; }
+  Protocol protocol() const { return protocol_; }
+  uint32_t n() const { return n_; }
+  uint32_t f() const { return f_; }
+
+  // --- engine ----------------------------------------------------------------
+  ConsensusEngine& engine();
+  // Typed accessors for protocol-specific inspection (construction stays
+  // behind the builder). Aborts when the deployment runs the other family.
+  TreeRsm& tree();
+  PbftHarness& pbft();
+  // The OptiLog pipeline: the deployment-owned one for tree protocols with
+  // WithOptiLogReconfig, the harness-owned one for the PBFT family, nullptr
+  // otherwise.
+  const Pipeline* pipeline() const;
+
+  // --- lifecycle -------------------------------------------------------------
+  void Start() { engine().Start(); }
+  void RunFor(SimTime d) { sim_.RunFor(d); }
+  void RunUntil(SimTime t) { sim_.RunUntil(t); }
+  MetricsReport Metrics() { return engine().Metrics(); }
+
+ private:
+  friend class Builder;
+  Deployment() = default;
+
+  std::optional<TreeTopology> OptiLogReconfig(TreeRsm& rsm);
+
+  Protocol protocol_ = Protocol::kOptiTree;
+  uint32_t n_ = 0;
+  uint32_t f_ = 0;
+  std::vector<City> cities_;
+
+  // Substrate. Declaration order doubles as construction order: engines
+  // reference everything above them.
+  Simulator sim_;
+  FaultModel faults_;
+  std::unique_ptr<GeoLatencyModel> latency_model_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<KeyStore> keys_;
+  LatencyMatrix matrix_;
+
+  // OptiLog machinery for tree protocols (WithOptiLogReconfig): suspicions
+  // recorded by the harness are committed through this log and dispatched to
+  // the deployment pipeline's monitors.
+  std::unique_ptr<TreeConfigSpace> tree_space_;
+  Log log_;
+  std::unique_ptr<Pipeline> pipeline_;
+  size_t consumed_suspicions_ = 0;
+  Rng reconfig_rng_{1};
+  AnnealingParams search_params_;
+  SimTime search_window_ = 0;
+
+  std::unique_ptr<TreeRsm> tree_;
+  std::unique_ptr<PbftHarness> pbft_;
+};
+
+class Deployment::Builder {
+ public:
+  // Configuration size. Defaults: f = (n - 1) / 3; replica locations drawn
+  // world-wide (GlobalN) unless WithGeo supplies them.
+  Builder& WithReplicas(uint32_t n, uint32_t f);
+
+  // Replica locations; n and f default from the city count.
+  Builder& WithGeo(std::vector<City> cities);
+
+  Builder& WithProtocol(Protocol protocol);
+
+  // Declarative fault injection, applied after the engine and its initial
+  // topology exist — so the callback can target e.g. tree intermediates.
+  Builder& WithFaults(std::function<void(Deployment&)> configure);
+
+  // Monitor-side pipeline knobs (candidate policy, config hysteresis, ...).
+  // Tree protocols default to the E_d/T policy with b + 1 internal slots;
+  // the PBFT family defaults to the MIS policy (§4.2.3).
+  Builder& WithPipeline(Pipeline::Options opts);
+
+  // Per-replica uplink bandwidth in bits/s (0 = unlimited).
+  Builder& WithBandwidth(double bps);
+
+  // Seeds everything the builder derives randomness from: the key store,
+  // topology searches, the pipeline RNG, and the PBFT harness seed.
+  Builder& WithSeed(uint64_t seed);
+
+  // Protocol-family knobs. n, f and the PBFT mode are filled in by Build.
+  Builder& WithTreeOptions(TreeRsmOptions opts);
+  Builder& WithPbftOptions(PbftOptions opts);
+
+  // Initial topology override for tree protocols (default: star for
+  // HotStuff, random tree for Kauri, SA tree for OptiTree).
+  Builder& WithTopology(TreeTopology tree);
+
+  // SA budget for the initial OptiTree search (default ~1 s of search).
+  Builder& WithInitialSearch(AnnealingParams params);
+
+  // Wire the full OptiLog loop for tree protocols: on every round failure
+  // the harness's suspicions are committed to the measurement bus, the
+  // monitors update C/G/K/u, proposals pause for `search_window`, and SA
+  // picks the next tree over the surviving candidates.
+  Builder& WithOptiLogReconfig(SimTime search_window = 1 * kSec);
+
+  std::unique_ptr<Deployment> Build();
+
+ private:
+  std::optional<uint32_t> n_;
+  std::optional<uint32_t> f_;
+  std::vector<City> cities_;
+  Protocol protocol_ = Protocol::kOptiTree;
+  std::function<void(Deployment&)> faults_;
+  std::optional<Pipeline::Options> pipeline_opts_;
+  double bandwidth_bps_ = 0.0;
+  std::optional<uint64_t> seed_;  // unset: each component keeps its default
+  TreeRsmOptions tree_opts_;
+  PbftOptions pbft_opts_;
+  std::optional<TreeTopology> topology_;
+  std::optional<AnnealingParams> search_params_;
+  bool optilog_reconfig_ = false;
+  SimTime search_window_ = 0;
+};
+
+}  // namespace optilog

@@ -16,7 +16,8 @@ Pipeline::Pipeline(ReplicaId self, uint32_t n, uint32_t f, const KeyStore* keys,
                       std::move(reconfigure), opts.config),
       config_sensor_(self, space,
                      Rng(opts.rng_seed ^ (0x9e3779b97f4a7c15ULL * (self + 1)))),
-      annealing_(opts.annealing) {
+      annealing_(opts.annealing),
+      auto_reciprocate_(opts.auto_reciprocate) {
   suspicion_sensor_ = std::make_unique<SuspicionSensor>(
       self, opts.delta, [this](const SuspicionRecord& rec) {
         propose_(MakeSuspicionMeasurement(rec, *keys_).Encode());
@@ -54,7 +55,9 @@ void Pipeline::DispatchMeasurement(const Measurement& m) {
       const SuspicionRecord rec = SuspicionRecord::Deserialize(r);
       if (sig_valid && r.ok() && rec.suspector == m.sig.signer) {
         suspicion_monitor_.OnSuspicion(rec, true);
-        suspicion_sensor_->OnSuspicionAgainstSelf(rec);
+        if (auto_reciprocate_) {
+          suspicion_sensor_->OnSuspicionAgainstSelf(rec);
+        }
       }
       break;
     }

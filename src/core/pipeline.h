@@ -36,6 +36,13 @@ class Pipeline {
     ConfigMonitorOptions config;
     AnnealingParams annealing;
     uint64_t rng_seed = 1;
+    // When false, the pipeline's own suspicion sensor does not reciprocate
+    // committed suspicions against `self`. Embeddings that keep one shared
+    // pipeline for the deterministic monitor side but per-replica sensors on
+    // the protocol side (see DESIGN.md) answer on behalf of the accused
+    // replica themselves — letting the shared pipeline answer for replica
+    // `self` would make a Byzantine `self` look responsive.
+    bool auto_reciprocate = true;
   };
 
   Pipeline(ReplicaId self, uint32_t n, uint32_t f, const KeyStore* keys,
@@ -89,6 +96,7 @@ class Pipeline {
   std::unique_ptr<SuspicionSensor> suspicion_sensor_;
   ConfigSensor config_sensor_;
   AnnealingParams annealing_;
+  bool auto_reciprocate_ = true;
   uint64_t last_candidate_epoch_ = 0;
 };
 

@@ -184,6 +184,34 @@ SimTime TreeRsm::RoundTimeout() const {
          opts_.timeout_slack;
 }
 
+void TreeRsm::SetTopologyOrConfig(const RoleConfig& config) {
+  SetTopology(TreeTopology::FromConfig(config));
+  if (!started_) {
+    return;  // initial installation
+  }
+  // Forced mid-run reconfiguration: count it and abandon rounds that are
+  // still waiting on the old tree's parents, mirroring the internal
+  // reconfiguration path.
+  ++reconfigurations_;
+  reconfig_times_.push_back(sim_->now());
+  AbandonInFlightRounds();
+  RefillPipeline();
+}
+
+MetricsReport TreeRsm::Metrics() const {
+  MetricsReport report;
+  report.committed = committed_blocks_;
+  report.total_commands = throughput_.total();
+  report.failed_rounds = failed_rounds_;
+  report.reconfigurations = reconfigurations_;
+  report.suspicions = suspicions_.size();
+  report.mean_latency_ms = latency_rec_.stat().mean();
+  report.throughput_per_sec = throughput_.per_second();
+  report.reconfig_times = reconfig_times_;
+  report.suspicion_times = suspicion_times_;
+  return report;
+}
+
 void TreeRsm::Start() {
   started_ = true;
   for (uint32_t i = 0; i < opts_.pipeline_depth; ++i) {
@@ -312,19 +340,29 @@ void TreeRsm::OnRoundTimeout(uint64_t view) {
     std::optional<TreeTopology> next = reconfig_(*this);
     if (next.has_value()) {
       ++reconfigurations_;
+      reconfig_times_.push_back(sim_->now());
       SetTopology(*next);
-      // Abandon in-flight rounds on the dead tree.
-      for (auto& [v, r] : rounds_) {
-        if (!r.committed && !r.failed) {
-          r.failed = true;
-          sim_->Cancel(r.timeout);
-          if (in_flight_ > 0) {
-            --in_flight_;
-          }
-        }
+      AbandonInFlightRounds();
+    }
+  }
+  RefillPipeline();
+}
+
+// Fails rounds still waiting on a replaced tree's parents (not counted as
+// timeout failures: their configuration is gone, not late).
+void TreeRsm::AbandonInFlightRounds() {
+  for (auto& [v, r] : rounds_) {
+    if (!r.committed && !r.failed) {
+      r.failed = true;
+      sim_->Cancel(r.timeout);
+      if (in_flight_ > 0) {
+        --in_flight_;
       }
     }
   }
+}
+
+void TreeRsm::RefillPipeline() {
   while (in_flight_ < opts_.pipeline_depth) {
     const uint32_t before = in_flight_;
     StartRound();
@@ -336,6 +374,7 @@ void TreeRsm::OnRoundTimeout(uint64_t view) {
 
 void TreeRsm::RecordSuspicion(const SuspicionRecord& rec) {
   suspicions_.push_back(rec);
+  suspicion_times_.push_back(sim_->now());
 }
 
 }  // namespace optilog

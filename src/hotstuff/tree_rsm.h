@@ -26,6 +26,7 @@
 #include <optional>
 #include <set>
 
+#include "src/api/consensus_engine.h"
 #include "src/core/pipeline.h"
 #include "src/hotstuff/messages.h"
 #include "src/net/network.h"
@@ -91,7 +92,7 @@ class TreeReplica : public Actor {
   std::map<uint64_t, PendingAggregation> aggregating_;
 };
 
-class TreeRsm {
+class TreeRsm : public ConsensusEngine {
  public:
   // Reconfiguration policy: returns the next tree after a failure, or
   // nullopt to keep the current one (e.g. star fallback already active).
@@ -99,6 +100,14 @@ class TreeRsm {
 
   TreeRsm(Simulator* sim, Network* net, const KeyStore* keys,
           const LatencyMatrix* latency, TreeRsmOptions opts);
+
+  // --- ConsensusEngine -------------------------------------------------------
+  void Start() override;
+  // Pre-start: installs the initial tree. Mid-run: a forced reconfiguration —
+  // in-flight rounds on the old tree are abandoned and the change is counted.
+  void SetTopologyOrConfig(const RoleConfig& config) override;
+  RoleConfig ActiveConfig() const override { return tree_.ToConfig(); }
+  MetricsReport Metrics() const override;
 
   void SetTopology(const TreeTopology& tree);
   void SetReconfigPolicy(ReconfigPolicy policy) { reconfig_ = std::move(policy); }
@@ -113,8 +122,6 @@ class TreeRsm {
   // Pauses proposals for `duration` (models the search window of Fig. 15).
   void PauseProposals(SimTime duration);
 
-  void Start();
-
   const TreeTopology& topology() const { return tree_; }
   const TreeRsmOptions& options() const { return opts_; }
   Simulator* sim() { return sim_; }
@@ -125,6 +132,7 @@ class TreeRsm {
   uint64_t committed_blocks() const { return committed_blocks_; }
   uint64_t failed_rounds() const { return failed_rounds_; }
   uint64_t reconfigurations() const { return reconfigurations_; }
+  const std::vector<SimTime>& reconfig_times() const { return reconfig_times_; }
   const std::vector<SuspicionRecord>& logged_suspicions() const {
     return suspicions_;
   }
@@ -145,6 +153,8 @@ class TreeRsm {
   };
 
   void StartRound();
+  void AbandonInFlightRounds();
+  void RefillPipeline();
   void OnRootVotes(uint64_t view, Digest block, const std::vector<ReplicaId>& voters);
   void CommitRound(uint64_t view);
   void OnRoundTimeout(uint64_t view);
@@ -172,7 +182,9 @@ class TreeRsm {
   uint64_t committed_blocks_ = 0;
   uint64_t failed_rounds_ = 0;
   uint64_t reconfigurations_ = 0;
+  std::vector<SimTime> reconfig_times_;
   std::vector<SuspicionRecord> suspicions_;
+  std::vector<SimTime> suspicion_times_;  // parallel to suspicions_
 };
 
 }  // namespace optilog

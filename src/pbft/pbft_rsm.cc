@@ -57,8 +57,8 @@ void PbftReplica::HandlePrePrepare(ReplicaId from, const PrePrepareMsg& msg,
   inst.have_preprepare = true;
 
   if (sensor_) {
-    const LatencyMatrix& matrix = harness_->latency_monitor_.matrix();
-    const uint32_t u = harness_->suspicion_monitor_.Current().u;
+    const LatencyMatrix& matrix = harness_->pipeline_->latency_monitor().matrix();
+    const uint32_t u = harness_->pipeline_->suspicion_monitor().Current().u;
     if (matrix.Known(msg.leader, id_) && id_ != msg.leader) {
       // Condition (b) on the Pre-Prepare itself: d_m = Lr(L, A) (TR1).
       const double d_rnd_ms = AwareRoundDurationMs(
@@ -104,9 +104,9 @@ void PbftReplica::HandlePhase(ReplicaId from, const PhaseMsg& msg, SimTime at) {
   }
 
   if (sensor_ && inst.have_preprepare && from != id_) {
-    const LatencyMatrix& matrix = harness_->latency_monitor_.matrix();
+    const LatencyMatrix& matrix = harness_->pipeline_->latency_monitor().matrix();
     if (matrix.Known(from, id_) && matrix.Coverage() >= 1.0) {
-      const uint32_t u = harness_->suspicion_monitor_.Current().u;
+      const uint32_t u = harness_->pipeline_->suspicion_monitor().Current().u;
       const double d_m_ms =
           msg.accept
               ? AwareAcceptTimeoutMs(harness_->config_, harness_->scheme(), matrix,
@@ -162,7 +162,7 @@ void PbftReplica::Commit(uint64_t seq) {
     sensor_->GarbageCollect(seq >= 2 ? seq - 2 : 0);
   }
   if (id_ == harness_->config_.leader) {
-    harness_->OnCommitAtLeader(seq);
+    harness_->OnCommitAtLeader(seq, static_cast<uint32_t>(inst.batch.size()));
   }
   // Bound per-replica state.
   while (instances_.size() > 64) {
@@ -210,10 +210,7 @@ PbftHarness::PbftHarness(Simulator* sim, Network* net, const KeyStore* keys,
       keys_(keys),
       opts_(opts),
       rng_(opts.seed),
-      space_(opts.n, opts.f),
-      latency_monitor_(opts.n),
-      misbehavior_monitor_(opts.n, keys),
-      suspicion_monitor_(opts.n, opts.f, &misbehavior_monitor_) {
+      space_(opts.n, opts.f) {
   // Initial configuration: leader 0, Vmax on the first 2f replicas.
   config_.leader = 0;
   config_.weight_max.assign(opts_.n, 0);
@@ -221,17 +218,31 @@ PbftHarness::PbftHarness(Simulator* sim, Network* net, const KeyStore* keys,
     config_.weight_max[i] = 1;
   }
 
-  config_monitor_ = std::make_unique<ConfigMonitor>(
-      opts_.n, opts_.f, &space_, &latency_monitor_, &suspicion_monitor_,
-      [this](const RoleConfig& cfg, double score) { AdoptConfig(cfg, score); });
+  // One pipeline carries the deterministic monitor side for all replicas;
+  // sensors stay per-replica (below). Its own sensor must not answer
+  // suspicions — the accused replica's sensor does (or stays silent when
+  // Byzantine).
+  Pipeline::Options popts = opts_.pipeline;
+  popts.delta = opts_.delta;
+  popts.rng_seed = opts_.seed;
+  popts.auto_reciprocate = false;
+  pipeline_ = std::make_unique<Pipeline>(
+      /*self=*/0, opts_.n, opts_.f, keys_, &space_,
+      [this](Bytes payload) {
+        AppendMeasurement(log_, sim_->now(), std::move(payload));
+      },
+      [this](const RoleConfig& cfg, double score) { OnReconfigure(cfg, score); },
+      popts);
+  log_.AddListener([this](const LogEntry& e) { OnLogCommit(e); });
 
   for (ReplicaId id = 0; id < opts_.n; ++id) {
     replicas_.push_back(std::make_unique<PbftReplica>(id, this));
     net_->Register(id, replicas_.back().get());
     if (opts_.mode == PbftMode::kOptiAware) {
       replicas_.back()->sensor_ = std::make_unique<SuspicionSensor>(
-          id, opts_.delta,
-          [this](const SuspicionRecord& rec) { LogSuspicion(rec); });
+          id, opts_.delta, [this](const SuspicionRecord& rec) {
+            CommitMeasurement(MakeSuspicionMeasurement(rec, *keys_));
+          });
     }
   }
   for (uint32_t i = 0; i < opts_.n; ++i) {
@@ -247,6 +258,7 @@ PbftHarness::PbftHarness(Simulator* sim, Network* net, const KeyStore* keys,
 }
 
 void PbftHarness::Start() {
+  started_ = true;
   for (auto& client : clients_) {
     client->SendNext(sim_->now());
   }
@@ -254,6 +266,39 @@ void PbftHarness::Start() {
     RunProbeRound();
     sim_->ScheduleAt(opts_.optimize_at, [this] { RunAwareOptimization(); });
   }
+}
+
+void PbftHarness::SetTopologyOrConfig(const RoleConfig& config) {
+  if (started_) {
+    OnReconfigure(config, 0.0);
+    return;
+  }
+  // Pre-start install: adopt silently (no reconfiguration event).
+  config_ = config;
+  if (config_.weight_max.size() != opts_.n) {
+    config_.weight_max.assign(opts_.n, 0);
+  }
+  pipeline_->config_monitor_mutable().SetActive(config_, 0.0);
+}
+
+MetricsReport PbftHarness::Metrics() const {
+  MetricsReport report;
+  report.committed = committed_instances_;
+  report.total_commands = throughput_.total();
+  report.failed_rounds = 0;  // view changes are out of model (§7.1)
+  report.reconfigurations = reconfig_times_.size();
+  report.suspicions = suspicion_times_.size();
+  report.throughput_per_sec = throughput_.per_second();
+  report.reconfig_times = reconfig_times_;
+  report.suspicion_times = suspicion_times_;
+  RunningStat latency;
+  for (const auto& client : clients_) {
+    for (const ClientSample& s : client->samples()) {
+      latency.Add(s.latency_ms);
+    }
+  }
+  report.mean_latency_ms = latency.mean();
+  return report;
 }
 
 void PbftHarness::SubmitRequest(const RequestRef& req) {
@@ -284,14 +329,54 @@ void PbftHarness::ProposeNext(SimTime now) {
   net_->Multicast(config_.leader, all, std::move(msg));
 }
 
-void PbftHarness::OnCommitAtLeader(uint64_t seq) {
+void PbftHarness::OnCommitAtLeader(uint64_t seq, uint32_t batch_size) {
   (void)seq;
   ++committed_instances_;
-  suspicion_monitor_.OnView(committed_instances_);
+  throughput_.RecordCommit(sim_->now(), batch_size);
+  // The committed command batch is a log entry like any other; the pipeline
+  // skips it, but the chain head covers it (determinism evidence).
+  LogEntry batch;
+  batch.kind = EntryKind::kCommandBatch;
+  batch.proposer = config_.leader;
+  batch.batch_size = batch_size;
+  batch.committed_at = sim_->now();
+  log_.Append(batch);
+  pipeline_->OnView(committed_instances_);
   instance_open_ = false;
   MaybeReactToSuspicions();
   if (!pending_requests_.empty()) {
     ProposeNext(sim_->now());
+  }
+}
+
+void PbftHarness::CommitMeasurement(const Measurement& m) {
+  AppendMeasurement(log_, sim_->now(), m.Encode());
+}
+
+void PbftHarness::OnLogCommit(const LogEntry& entry) {
+  pipeline_->OnCommit(entry);
+  if (entry.kind != EntryKind::kMeasurement) {
+    return;
+  }
+  const std::optional<Measurement> m = Measurement::Decode(entry.payload);
+  if (!m.has_value() || m->kind != MeasurementKind::kSuspicion) {
+    return;
+  }
+  ByteReader r(m->body);
+  const SuspicionRecord rec = SuspicionRecord::Deserialize(r);
+  if (!r.ok() || rec.suspector != m->sig.signer) {
+    return;
+  }
+  if (rec.type != SuspicionType::kSlow) {
+    return;
+  }
+  suspicion_times_.push_back(sim_->now());
+  suspicion_rounds_.insert(rec.round);
+  // Reciprocation (condition (c)): the accused replica's sensor answers with
+  // <False>; a Byzantine attacker stays silent and drifts into C.
+  if (rec.suspect < opts_.n && replicas_[rec.suspect]->sensor_ &&
+      !net_->faults()->Of(rec.suspect).IsByzantine()) {
+    replicas_[rec.suspect]->sensor_->OnSuspicionAgainstSelf(rec);
   }
 }
 
@@ -338,7 +423,7 @@ void PbftHarness::RunProbeRound() {
         }
       }
     }
-    latency_monitor_.OnLatencyVector(rec);
+    CommitMeasurement(MakeLatencyMeasurement(rec, *keys_));
   }
   sim_->ScheduleAfter(opts_.probe_interval, [this] { RunProbeRound(); });
 }
@@ -349,7 +434,7 @@ void PbftHarness::RunAwareOptimization() {
   // candidate set K.
   CandidateSet candidates;
   if (opts_.mode == PbftMode::kOptiAware) {
-    candidates = suspicion_monitor_.Current();
+    candidates = pipeline_->suspicion_monitor().Current();
   } else {
     for (ReplicaId id = 0; id < opts_.n; ++id) {
       candidates.candidates.push_back(id);
@@ -359,39 +444,20 @@ void PbftHarness::RunAwareOptimization() {
   AnnealingParams params;
   params.max_iterations = 30'000;
   auto score = [&](const RoleConfig& cfg) {
-    return space_.Score(cfg, latency_monitor_.matrix(), candidates.u);
+    return space_.Score(cfg, pipeline_->latency_monitor().matrix(), candidates.u);
   };
   auto mutate = [&](const RoleConfig& cfg, Rng& r) {
     return space_.Mutate(cfg, candidates, r);
   };
   const auto result = SimulatedAnnealing(std::move(initial), score, mutate, rng_, params);
-  AdoptConfig(result.best, result.best_score);
-}
-
-void PbftHarness::LogSuspicion(const SuspicionRecord& rec) {
-  suspicion_times_.push_back(sim_->now());
-  suspicion_rounds_.insert(rec.round);
-  suspicion_monitor_.OnSuspicion(rec, true);
-  // Reciprocation (condition (c)): a correct accused replica answers with
-  // <False>; the attacker stays silent and drifts into C.
-  if (!net_->faults()->Of(rec.suspect).IsByzantine() &&
-      rec.type == SuspicionType::kSlow) {
-    SuspicionRecord reciprocal;
-    reciprocal.type = SuspicionType::kFalse;
-    reciprocal.suspector = rec.suspect;
-    reciprocal.suspect = rec.suspector;
-    reciprocal.round = rec.round;
-    reciprocal.phase = rec.phase;
-    suspicion_monitor_.OnSuspicion(reciprocal, true);
-  }
-  config_monitor_->OnCandidateUpdate();
+  OnReconfigure(result.best, result.best_score);
 }
 
 void PbftHarness::MaybeReactToSuspicions() {
   if (opts_.mode != PbftMode::kOptiAware) {
     return;
   }
-  const CandidateSet& k = suspicion_monitor_.Current();
+  const CandidateSet& k = pipeline_->suspicion_monitor().Current();
   if (space_.Valid(config_, k)) {
     searched_after_invalid_ = false;
     return;
@@ -401,27 +467,27 @@ void PbftHarness::MaybeReactToSuspicions() {
     return;
   }
   searched_after_invalid_ = true;
-  // f + 1 replicas run the (non-deterministic) config search and propose;
-  // the deterministic monitor reconfigures once it has f + 1 of them.
+  // f + 1 replicas run the (non-deterministic) config search and propose via
+  // the log; the deterministic monitor reconfigures once it has f + 1 of
+  // them.
   for (uint32_t i = 0; i <= opts_.f; ++i) {
     ConfigSensor sensor(i, &space_, rng_.Fork());
     AnnealingParams params;
     params.max_iterations = 10'000;
-    auto rec = sensor.Search(k, latency_monitor_.matrix(), params);
+    auto rec = sensor.Search(k, pipeline_->latency_monitor().matrix(), params);
     if (rec.has_value()) {
-      config_monitor_->OnConfigProposal(*rec, true);
+      CommitMeasurement(MakeConfigMeasurement(*rec, *keys_));
     }
   }
 }
 
-void PbftHarness::AdoptConfig(const RoleConfig& config, double score) {
-  (void)score;
+void PbftHarness::OnReconfigure(const RoleConfig& config, double score) {
   config_ = config;
   if (config_.weight_max.size() != opts_.n) {
     config_.weight_max.assign(opts_.n, 0);
   }
   reconfig_times_.push_back(sim_->now());
-  config_monitor_->SetActive(config_, score);
+  pipeline_->config_monitor_mutable().SetActive(config_, score);
   instance_open_ = false;
   if (!pending_requests_.empty()) {
     ProposeNext(sim_->now());

@@ -15,6 +15,13 @@
 // n + replica id). Clients issue requests in a closed loop to the current
 // leader and record end-to-end latency on the f + 1-th reply — the metric
 // Fig. 7 plots over time.
+//
+// OptiLog integration: the harness owns a shared Log and one Pipeline
+// instance — the monitor side is deterministic (Table 1), so the per-replica
+// monitor copies are identical and computed once (see DESIGN.md). Sensors
+// stay per-replica: each PbftReplica carries its own SuspicionSensor whose
+// emissions are signed, appended to the log as measurement entries, and
+// dispatched to the monitors at the commit boundary.
 #pragma once
 
 #include <deque>
@@ -23,10 +30,12 @@
 #include <optional>
 #include <set>
 
+#include "src/api/consensus_engine.h"
 #include "src/aware/aware_score.h"
 #include "src/core/pipeline.h"
 #include "src/net/network.h"
 #include "src/pbft/messages.h"
+#include "src/rsm/log.h"
 #include "src/rsm/metrics.h"
 
 namespace optilog {
@@ -46,6 +55,9 @@ struct PbftOptions {
   // Suspicions must accumulate in this many distinct instances before the
   // monitor acts — Aware-style damping against one-off spikes.
   uint32_t suspicion_threshold = 3;
+  // Monitor-side knobs for the harness's shared pipeline. delta, rng_seed
+  // and auto_reciprocate are overridden from the options above.
+  Pipeline::Options pipeline;
 };
 
 struct ClientSample {
@@ -107,11 +119,15 @@ class PbftClient : public Actor {
   std::vector<ClientSample> samples_;
 };
 
-class PbftHarness {
+class PbftHarness : public ConsensusEngine {
  public:
   PbftHarness(Simulator* sim, Network* net, const KeyStore* keys, PbftOptions opts);
 
-  void Start();
+  // --- ConsensusEngine -------------------------------------------------------
+  void Start() override;
+  void SetTopologyOrConfig(const RoleConfig& config) override;
+  RoleConfig ActiveConfig() const override { return config_; }
+  MetricsReport Metrics() const override;
 
   const RoleConfig& config() const { return config_; }
   const WeightScheme& scheme() const { return space_.scheme(); }
@@ -122,7 +138,9 @@ class PbftHarness {
   uint64_t committed_instances() const { return committed_instances_; }
   const std::vector<SimTime>& reconfigure_times() const { return reconfig_times_; }
   const std::vector<SimTime>& suspicion_times() const { return suspicion_times_; }
-  const LatencyMatrix& matrix() const { return latency_monitor_.matrix(); }
+  const LatencyMatrix& matrix() const { return pipeline_->latency_monitor().matrix(); }
+  const Pipeline& pipeline() const { return *pipeline_; }
+  const Log& log() const { return log_; }
 
  private:
   friend class PbftReplica;
@@ -132,15 +150,16 @@ class PbftHarness {
   bool IsClient(ReplicaId id) const { return id >= opts_.n; }
 
   void ProposeNext(SimTime now);
-  void OnCommitAtLeader(uint64_t seq);
+  void OnCommitAtLeader(uint64_t seq, uint32_t batch_size);
   void SubmitRequest(const RequestRef& req);
   void RunProbeRound();
   void RunAwareOptimization();
-  // Commit-order measurement bus: suspicions and config proposals feed the
-  // deterministic monitors (computed once; Table 1 consistency makes the
-  // per-replica copies identical, see DESIGN.md).
-  void LogSuspicion(const SuspicionRecord& rec);
-  void AdoptConfig(const RoleConfig& config, double score);
+  // Commit-order measurement bus: sensor emissions are signed, appended to
+  // the shared log, and dispatched to the pipeline's deterministic monitors
+  // at the commit boundary (see DESIGN.md).
+  void CommitMeasurement(const Measurement& m);
+  void OnLogCommit(const LogEntry& entry);
+  void OnReconfigure(const RoleConfig& config, double score);
   void MaybeReactToSuspicions();
 
   Simulator* sim_;
@@ -154,15 +173,15 @@ class PbftHarness {
   std::vector<std::unique_ptr<PbftReplica>> replicas_;
   std::vector<std::unique_ptr<PbftClient>> clients_;
 
-  LatencyMonitor latency_monitor_;
-  MisbehaviorMonitor misbehavior_monitor_;
-  SuspicionMonitor suspicion_monitor_;
-  std::unique_ptr<ConfigMonitor> config_monitor_;
+  Log log_;
+  std::unique_ptr<Pipeline> pipeline_;
 
   std::deque<RequestRef> pending_requests_;
   uint64_t next_seq_ = 0;
   bool instance_open_ = false;
+  bool started_ = false;
   uint64_t committed_instances_ = 0;
+  ThroughputRecorder throughput_;
   std::vector<SimTime> reconfig_times_;
   std::vector<SimTime> suspicion_times_;
   std::set<uint64_t> suspicion_rounds_;

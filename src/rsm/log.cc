@@ -20,10 +20,11 @@ void Log::Append(LogEntry entry) {
   w.Blob(entry.payload);
   head_ = Sha256::Hash(encoded);
 
-  entries_.push_back(std::move(entry));
-  const LogEntry& stored = entries_.back();
-  for (const auto& listener : listeners_) {
-    listener(stored);
+  entries_.push_back(entry);
+  // Notify from the local copy: a listener may append again (e.g. a sensor
+  // reciprocating a committed suspicion), reallocating entries_ mid-loop.
+  for (size_t i = 0; i < listeners_.size(); ++i) {
+    listeners_[i](entry);
   }
 }
 

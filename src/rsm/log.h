@@ -64,4 +64,14 @@ class Log {
   uint64_t total_commands_ = 0;
 };
 
+// Commits an encoded measurement: the one step every sensor emission takes
+// onto the bus.
+inline void AppendMeasurement(Log& log, SimTime now, Bytes payload) {
+  LogEntry e;
+  e.kind = EntryKind::kMeasurement;
+  e.committed_at = now;
+  e.payload = std::move(payload);
+  log.Append(e);
+}
+
 }  // namespace optilog

@@ -11,6 +11,23 @@
 
 namespace optilog {
 
+// Mean ops/s over [from_sec, to_sec) of a per-second series, clamped to the
+// recorded range.
+inline double MeanOpsPerSec(const std::vector<uint64_t>& per_second,
+                            size_t from_sec, size_t to_sec) {
+  if (to_sec > per_second.size()) {
+    to_sec = per_second.size();
+  }
+  if (from_sec >= to_sec) {
+    return 0.0;
+  }
+  uint64_t sum = 0;
+  for (size_t i = from_sec; i < to_sec; ++i) {
+    sum += per_second[i];
+  }
+  return static_cast<double>(sum) / static_cast<double>(to_sec - from_sec);
+}
+
 // Buckets committed commands into one-second bins of simulated time.
 class ThroughputRecorder {
  public:
@@ -30,22 +47,34 @@ class ThroughputRecorder {
 
   // Mean ops/s over [from_sec, to_sec).
   double MeanOps(size_t from_sec, size_t to_sec) const {
-    if (to_sec > buckets_.size()) {
-      to_sec = buckets_.size();
-    }
-    if (from_sec >= to_sec) {
-      return 0.0;
-    }
-    uint64_t sum = 0;
-    for (size_t i = from_sec; i < to_sec; ++i) {
-      sum += buckets_[i];
-    }
-    return static_cast<double>(sum) / static_cast<double>(to_sec - from_sec);
+    return MeanOpsPerSec(buckets_, from_sec, to_sec);
   }
 
  private:
   std::vector<uint64_t> buckets_;
   uint64_t total_ = 0;
+};
+
+// Protocol-agnostic snapshot of a run's outcome: what every ConsensusEngine
+// reports regardless of whether "committed" counts tree blocks or PBFT
+// instances. Benches and tests consume this instead of reaching into
+// harness-specific accessors.
+struct MetricsReport {
+  uint64_t committed = 0;          // committed blocks / instances
+  uint64_t total_commands = 0;     // client commands across all commits
+  uint64_t failed_rounds = 0;      // rounds lost to timeouts
+  uint64_t reconfigurations = 0;   // configuration changes (any cause)
+  uint64_t suspicions = 0;         // suspicion records raised
+  // Consensus latency for tree protocols; end-to-end client latency for the
+  // PBFT family (the metric each paper figure plots).
+  double mean_latency_ms = 0.0;
+  std::vector<uint64_t> throughput_per_sec;  // commands per second of sim time
+  std::vector<SimTime> reconfig_times;
+  std::vector<SimTime> suspicion_times;
+
+  double MeanOps(size_t from_sec, size_t to_sec) const {
+    return MeanOpsPerSec(throughput_per_sec, from_sec, to_sec);
+  }
 };
 
 // Consensus latency samples (proposal sent -> block committed), in ms.

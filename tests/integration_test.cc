@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "src/hotstuff/tree_rsm.h"
-#include "src/net/geo.h"
+#include "src/api/deployment.h"
 #include "src/rsm/metrics.h"
 #include "src/tree/kauri.h"
 
@@ -57,28 +56,12 @@ TEST(Kauri, BinsWithNonDivisibleN) {
 // tree whose internals include a crashed replica fails; the scheduler walks
 // the bins and falls back to a star once they are exhausted.
 TEST(Integration, KauriBinScheduleWithStarFallback) {
-  const auto cities = Europe21();
   const uint32_t n = 21, f = 6;
-  GeoLatencyModel latency_model(cities);
-  Simulator sim;
-  FaultModel faults;
-  Network net(&sim, &latency_model, &faults);
-  KeyStore keys(n, 1);
-
-  const auto rtts = RttMatrixMs(cities);
-  LatencyMatrix matrix(n);
-  for (ReplicaId a = 0; a < n; ++a) {
-    for (ReplicaId b = 0; b < n; ++b) {
-      if (a != b) {
-        matrix.Record(a, b, rtts[a][b]);
-      }
-    }
-  }
-
-  TreeRsmOptions opts;
-  opts.n = n;
-  opts.f = f;
-  TreeRsm rsm(&sim, &net, &keys, &matrix, opts);
+  auto d = Deployment::Builder()
+               .WithGeo(Europe21())
+               .WithReplicas(n, f)
+               .WithProtocol(Protocol::kKauri)
+               .Build();
 
   KauriScheduler sched(n, 77);
   // Crash one replica from every bin's internals, so all bin trees fail and
@@ -89,7 +72,7 @@ TEST(Integration, KauriBinScheduleWithStarFallback) {
   while (auto tree = probe.NextTree()) {
     for (ReplicaId id : tree->Internals()) {
       if (id != 0 && crashed.size() < f) {
-        faults.Mutable(id).crash_at = 0;
+        d->faults().Mutable(id).crash_at = 0;
         crashed.insert(id);
         break;
       }
@@ -98,7 +81,7 @@ TEST(Integration, KauriBinScheduleWithStarFallback) {
   ASSERT_GE(crashed.size(), 4u);
 
   bool on_star = false;
-  rsm.SetReconfigPolicy([&](TreeRsm&) -> std::optional<TreeTopology> {
+  d->tree().SetReconfigPolicy([&](TreeRsm&) -> std::optional<TreeTopology> {
     if (auto tree = sched.NextTree()) {
       return tree;
     }
@@ -107,56 +90,40 @@ TEST(Integration, KauriBinScheduleWithStarFallback) {
   });
   auto first = sched.NextTree();
   ASSERT_TRUE(first.has_value());
-  rsm.SetTopology(*first);
-  rsm.SetExcluded(crashed);
-  rsm.Start();
-  sim.RunUntil(60 * kSec);
+  d->tree().SetTopology(*first);
+  d->tree().SetExcluded(crashed);
+  d->Start();
+  d->RunUntil(60 * kSec);
 
   // With a crashed internal in every bin, Kauri must have reached the star.
   EXPECT_TRUE(on_star);
-  EXPECT_TRUE(rsm.topology().intermediates().empty());
-  EXPECT_GT(rsm.committed_blocks(), 10u);
-  EXPECT_LE(rsm.reconfigurations(), sched.num_bins() + 1);
+  EXPECT_TRUE(d->tree().topology().intermediates().empty());
+  EXPECT_GT(d->tree().committed_blocks(), 10u);
+  EXPECT_LE(d->tree().reconfigurations(), sched.num_bins() + 1);
 }
 
 // OptiTree beats the Kauri bin schedule in failures-to-recovery: with the
 // E_d/T candidate set, a single reconfiguration avoids the crashed replica.
 TEST(Integration, OptiTreeRecoversInOneReconfig) {
-  const auto cities = Europe21();
   const uint32_t n = 21, f = 6;
-  GeoLatencyModel latency_model(cities);
-  Simulator sim;
-  FaultModel faults;
-  Network net(&sim, &latency_model, &faults);
-  KeyStore keys(n, 1);
-
-  const auto rtts = RttMatrixMs(cities);
-  LatencyMatrix matrix(n);
-  for (ReplicaId a = 0; a < n; ++a) {
-    for (ReplicaId b = 0; b < n; ++b) {
-      if (a != b) {
-        matrix.Record(a, b, rtts[a][b]);
-      }
-    }
-  }
-
-  TreeRsmOptions opts;
-  opts.n = n;
-  opts.f = f;
-  TreeRsm rsm(&sim, &net, &keys, &matrix, opts);
+  const AnnealingParams params = AnnealingParams::ForBudget(2000);
+  auto d = Deployment::Builder()
+               .WithGeo(Europe21())
+               .WithReplicas(n, f)
+               .WithProtocol(Protocol::kHotStuff)
+               .Build();
 
   Rng rng(5);
   std::vector<ReplicaId> all(n);
   for (ReplicaId id = 0; id < n; ++id) {
     all[id] = id;
   }
-  const AnnealingParams params = AnnealingParams::ForBudget(2000);
-  const TreeTopology tree = AnnealTree(n, all, matrix, 2 * f + 1, rng, params);
-  rsm.SetTopology(tree);
+  const TreeTopology tree = AnnealTree(n, all, d->matrix(), 2 * f + 1, rng, params);
+  d->tree().SetTopology(tree);
   const ReplicaId victim = tree.root();
-  faults.Mutable(victim).crash_at = 3 * kSec;
+  d->faults().Mutable(victim).crash_at = 3 * kSec;
 
-  rsm.SetReconfigPolicy([&](TreeRsm& r) -> std::optional<TreeTopology> {
+  d->tree().SetReconfigPolicy([&](TreeRsm& r) -> std::optional<TreeTopology> {
     std::vector<ReplicaId> pool;
     for (ReplicaId id = 0; id < n; ++id) {
       bool suspected = false;
@@ -170,46 +137,27 @@ TEST(Integration, OptiTreeRecoversInOneReconfig) {
       }
     }
     r.SetExcluded({victim});
-    return AnnealTree(n, pool, matrix, 2 * f + 1, rng, params);
+    return AnnealTree(n, pool, d->matrix(), 2 * f + 1, rng, params);
   });
-  rsm.Start();
-  sim.RunUntil(30 * kSec);
+  d->Start();
+  d->RunUntil(30 * kSec);
 
-  EXPECT_EQ(rsm.reconfigurations(), 1u);
-  EXPECT_NE(rsm.topology().root(), victim);
-  EXPECT_GT(rsm.committed_blocks(), 100u);
+  EXPECT_EQ(d->tree().reconfigurations(), 1u);
+  EXPECT_NE(d->tree().topology().root(), victim);
+  EXPECT_GT(d->tree().committed_blocks(), 100u);
 }
 
 TEST(Integration, ExcludedLeavesDoNotStallAggregation) {
-  const auto cities = Europe21();
   const uint32_t n = 21, f = 6;
-  GeoLatencyModel latency_model(cities);
-  Simulator sim;
-  FaultModel faults;
-  Network net(&sim, &latency_model, &faults);
-  KeyStore keys(n, 1);
-
-  const auto rtts = RttMatrixMs(cities);
-  LatencyMatrix matrix(n);
-  for (ReplicaId a = 0; a < n; ++a) {
-    for (ReplicaId b = 0; b < n; ++b) {
-      if (a != b) {
-        matrix.Record(a, b, rtts[a][b]);
-      }
-    }
-  }
-
   // Crash two leaves; with them excluded, latency matches the healthy run
   // (no intermediate waits for the aggregation timeout).
   double healthy_latency = 0.0;
   for (int run = 0; run < 2; ++run) {
-    Simulator local_sim;
-    FaultModel local_faults;
-    Network local_net(&local_sim, &latency_model, &local_faults);
-    TreeRsmOptions opts;
-    opts.n = n;
-    opts.f = f;
-    TreeRsm rsm(&local_sim, &local_net, &keys, &matrix, opts);
+    auto d = Deployment::Builder()
+                 .WithGeo(Europe21())
+                 .WithReplicas(n, f)
+                 .WithProtocol(Protocol::kHotStuff)
+                 .Build();
     Rng rng(8);
     const TreeTopology tree = RandomTree(n, rng);
     std::vector<ReplicaId> leaves;
@@ -219,18 +167,18 @@ TEST(Integration, ExcludedLeavesDoNotStallAggregation) {
       }
     }
     if (run == 1) {
-      local_faults.Mutable(leaves[0]).crash_at = 0;
-      local_faults.Mutable(leaves[1]).crash_at = 0;
-      rsm.SetExcluded({leaves[0], leaves[1]});
+      d->faults().Mutable(leaves[0]).crash_at = 0;
+      d->faults().Mutable(leaves[1]).crash_at = 0;
+      d->tree().SetExcluded({leaves[0], leaves[1]});
     }
-    rsm.SetTopology(tree);
-    rsm.Start();
-    local_sim.RunUntil(10 * kSec);
-    EXPECT_GT(rsm.committed_blocks(), 20u) << "run " << run;
+    d->tree().SetTopology(tree);
+    d->Start();
+    d->RunUntil(10 * kSec);
+    EXPECT_GT(d->tree().committed_blocks(), 20u) << "run " << run;
     if (run == 0) {
-      healthy_latency = rsm.latency_rec().stat().mean();
+      healthy_latency = d->tree().latency_rec().stat().mean();
     } else {
-      EXPECT_NEAR(rsm.latency_rec().stat().mean(), healthy_latency,
+      EXPECT_NEAR(d->tree().latency_rec().stat().mean(), healthy_latency,
                   healthy_latency * 0.5);
     }
   }

@@ -1,8 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "src/hotstuff/tree_rsm.h"
-#include "src/net/geo.h"
-#include "src/pbft/pbft_rsm.h"
+#include "src/api/deployment.h"
 #include "src/tree/kauri.h"
 
 namespace optilog {
@@ -10,59 +8,37 @@ namespace {
 
 // --- Tree protocol (HotStuff/Kauri family) ----------------------------------
 
-struct TreeFixture {
-  TreeFixture(uint32_t n, uint32_t f, const std::vector<City>& cities,
-              TreeRsmOptions opts)
-      : latency_model(cities), keys(n, 1) {
-    opts.n = n;
-    opts.f = f;
-    net = std::make_unique<Network>(&sim, &latency_model, &faults);
-    const auto rtts = RttMatrixMs(cities);
-    matrix.Reset(n);
-    for (ReplicaId a = 0; a < n; ++a) {
-      for (ReplicaId b = 0; b < n; ++b) {
-        if (a != b) {
-          matrix.Record(a, b, rtts[a][b]);
-        }
-      }
-    }
-    rsm = std::make_unique<TreeRsm>(&sim, net.get(), &keys, &matrix, opts);
-  }
-
-  Simulator sim;
-  GeoLatencyModel latency_model;
-  FaultModel faults;
-  KeyStore keys;
-  LatencyMatrix matrix;
-  std::unique_ptr<Network> net;
-  std::unique_ptr<TreeRsm> rsm;
-};
+// A deployment with an explicit topology installed after Build — the
+// HotStuff protocol default (a star) is the cheapest base to override.
+std::unique_ptr<Deployment> TreeDeployment(uint32_t n, uint32_t f,
+                                           std::vector<City> cities,
+                                           TreeRsmOptions opts) {
+  return Deployment::Builder()
+      .WithGeo(std::move(cities))
+      .WithReplicas(n, f)
+      .WithProtocol(Protocol::kHotStuff)
+      .WithTreeOptions(opts)
+      .Build();
+}
 
 TEST(TreeRsmSim, StarCommitsBlocks) {
-  TreeRsmOptions opts;
-  TreeFixture fx(21, 6, Europe21(), opts);
-  std::vector<ReplicaId> leaves;
-  for (ReplicaId id = 1; id < 21; ++id) {
-    leaves.push_back(id);
-  }
-  fx.rsm->SetTopology(TreeTopology::Build({0}, leaves));
-  fx.rsm->Start();
-  fx.sim.RunUntil(20 * kSec);
-  EXPECT_GT(fx.rsm->committed_blocks(), 50u);
-  EXPECT_EQ(fx.rsm->failed_rounds(), 0u);
-  EXPECT_GT(fx.rsm->latency_rec().stat().mean(), 1.0);   // > 1 ms
-  EXPECT_LT(fx.rsm->latency_rec().stat().mean(), 200.0);  // intra-EU
+  auto d = TreeDeployment(21, 6, Europe21(), {});
+  d->Start();
+  d->RunUntil(20 * kSec);
+  EXPECT_GT(d->tree().committed_blocks(), 50u);
+  EXPECT_EQ(d->tree().failed_rounds(), 0u);
+  EXPECT_GT(d->tree().latency_rec().stat().mean(), 1.0);   // > 1 ms
+  EXPECT_LT(d->tree().latency_rec().stat().mean(), 200.0);  // intra-EU
 }
 
 TEST(TreeRsmSim, TreeCommitsBlocks) {
-  TreeRsmOptions opts;
-  TreeFixture fx(21, 6, Europe21(), opts);
+  auto d = TreeDeployment(21, 6, Europe21(), {});
   Rng rng(5);
-  fx.rsm->SetTopology(RandomTree(21, rng));
-  fx.rsm->Start();
-  fx.sim.RunUntil(20 * kSec);
-  EXPECT_GT(fx.rsm->committed_blocks(), 20u);
-  EXPECT_EQ(fx.rsm->failed_rounds(), 0u);
+  d->tree().SetTopology(RandomTree(21, rng));
+  d->Start();
+  d->RunUntil(20 * kSec);
+  EXPECT_GT(d->tree().committed_blocks(), 20u);
+  EXPECT_EQ(d->tree().failed_rounds(), 0u);
 }
 
 TEST(TreeRsmSim, PipeliningRaisesThroughput) {
@@ -70,12 +46,12 @@ TEST(TreeRsmSim, PipeliningRaisesThroughput) {
   for (int run = 0; run < 2; ++run) {
     TreeRsmOptions opts;
     opts.pipeline_depth = run == 0 ? 1 : 3;
-    TreeFixture fx(21, 6, Europe21(), opts);
+    auto d = TreeDeployment(21, 6, Europe21(), opts);
     Rng rng(5);
-    fx.rsm->SetTopology(RandomTree(21, rng));
-    fx.rsm->Start();
-    fx.sim.RunUntil(20 * kSec);
-    committed[run] = fx.rsm->committed_blocks();
+    d->tree().SetTopology(RandomTree(21, rng));
+    d->Start();
+    d->RunUntil(20 * kSec);
+    committed[run] = d->tree().committed_blocks();
   }
   EXPECT_GT(committed[1], committed[0] * 2);
 }
@@ -87,35 +63,33 @@ TEST(TreeRsmSim, BandwidthMakesStarSlowerThanTreeThroughput) {
   for (int run = 0; run < 2; ++run) {
     TreeRsmOptions opts;
     opts.pipeline_depth = 3;
-    TreeFixture fx(73, 24, Global73(), opts);
-    fx.net->SetBandwidthBps(500e6);  // 500 Mbit/s per replica
-    if (run == 0) {
-      std::vector<ReplicaId> leaves;
-      for (ReplicaId id = 1; id < 73; ++id) {
-        leaves.push_back(id);
-      }
-      fx.rsm->SetTopology(TreeTopology::Build({0}, leaves));
-    } else {
+    auto d = Deployment::Builder()
+                 .WithGeo(Global73())
+                 .WithReplicas(73, 24)
+                 .WithProtocol(Protocol::kHotStuff)
+                 .WithTreeOptions(opts)
+                 .WithBandwidth(500e6)  // 500 Mbit/s per replica
+                 .Build();
+    if (run == 1) {
       Rng rng(5);
-      fx.rsm->SetTopology(RandomTree(73, rng));
+      d->tree().SetTopology(RandomTree(73, rng));
     }
-    fx.rsm->Start();
-    fx.sim.RunUntil(30 * kSec);
-    committed[run] = fx.rsm->committed_blocks();
+    d->Start();
+    d->RunUntil(30 * kSec);
+    committed[run] = d->tree().committed_blocks();
   }
   EXPECT_GT(committed[1], committed[0]);
 }
 
 TEST(TreeRsmSim, CrashedRootTriggersTimeoutAndReconfig) {
-  TreeRsmOptions opts;
-  TreeFixture fx(21, 6, Europe21(), opts);
+  auto d = TreeDeployment(21, 6, Europe21(), {});
   Rng rng(5);
   const TreeTopology first = RandomTree(21, rng);
-  fx.faults.Mutable(first.root()).crash_at = 5 * kSec;
-  fx.rsm->SetTopology(first);
+  d->faults().Mutable(first.root()).crash_at = 5 * kSec;
+  d->tree().SetTopology(first);
 
   const ReplicaId dead_root = first.root();
-  fx.rsm->SetReconfigPolicy([dead_root, &rng](TreeRsm& rsm) {
+  d->tree().SetReconfigPolicy([dead_root, &rng](TreeRsm& rsm) {
     // Next random tree avoiding the dead root as an internal.
     for (;;) {
       TreeTopology t = RandomTree(rsm.options().n, rng);
@@ -130,37 +104,37 @@ TEST(TreeRsmSim, CrashedRootTriggersTimeoutAndReconfig) {
       }
     }
   });
-  fx.rsm->Start();
-  fx.sim.RunUntil(30 * kSec);
-  EXPECT_GE(fx.rsm->failed_rounds(), 1u);
-  EXPECT_GE(fx.rsm->reconfigurations(), 1u);
-  EXPECT_NE(fx.rsm->topology().root(), dead_root);
+  d->Start();
+  d->RunUntil(30 * kSec);
+  EXPECT_GE(d->tree().failed_rounds(), 1u);
+  EXPECT_GE(d->tree().reconfigurations(), 1u);
+  EXPECT_NE(d->tree().topology().root(), dead_root);
   // Suspicions against the crashed root were recorded (CT2).
   bool suspected_root = false;
-  for (const SuspicionRecord& rec : fx.rsm->logged_suspicions()) {
+  for (const SuspicionRecord& rec : d->tree().logged_suspicions()) {
     if (rec.suspect == dead_root) {
       suspected_root = true;
     }
   }
   EXPECT_TRUE(suspected_root);
   // Progress resumed on the new tree.
-  EXPECT_GT(fx.rsm->committed_blocks(), 20u);
+  EXPECT_GT(d->tree().committed_blocks(), 20u);
 }
 
 TEST(TreeRsmSim, CrashedIntermediateSuspectedByAggregationRule) {
   TreeRsmOptions opts;
   opts.votes_required = 20;  // require all non-root votes -> crash must bite
-  TreeFixture fx(21, 6, Europe21(), opts);
+  auto d = TreeDeployment(21, 6, Europe21(), opts);
   Rng rng(6);
   const TreeTopology tree = RandomTree(21, rng);
   const ReplicaId victim = tree.intermediates()[0];
-  fx.faults.Mutable(victim).crash_at = 0;
-  fx.rsm->SetTopology(tree);
-  fx.rsm->Start();
-  fx.sim.RunUntil(10 * kSec);
-  EXPECT_GE(fx.rsm->failed_rounds(), 1u);
+  d->faults().Mutable(victim).crash_at = 0;
+  d->tree().SetTopology(tree);
+  d->Start();
+  d->RunUntil(10 * kSec);
+  EXPECT_GE(d->tree().failed_rounds(), 1u);
   bool suspected = false;
-  for (const SuspicionRecord& rec : fx.rsm->logged_suspicions()) {
+  for (const SuspicionRecord& rec : d->tree().logged_suspicions()) {
     if (rec.suspect == victim) {
       suspected = true;
     }
@@ -175,17 +149,17 @@ TEST(TreeRsmSim, DelayingIntermediateReducesThroughput) {
   for (int run = 0; run < 2; ++run) {
     TreeRsmOptions opts;
     opts.delta = 1.5;  // timers tolerate the attacker
-    TreeFixture fx(21, 6, Europe21(), opts);
+    auto d = TreeDeployment(21, 6, Europe21(), opts);
     Rng rng(7);
     const TreeTopology tree = RandomTree(21, rng);
     if (run == 1) {
-      fx.faults.Mutable(tree.intermediates()[0]).outbound_delay_factor = 1.4;
-      fx.faults.Mutable(tree.intermediates()[1]).outbound_delay_factor = 1.4;
+      d->faults().Mutable(tree.intermediates()[0]).outbound_delay_factor = 1.4;
+      d->faults().Mutable(tree.intermediates()[1]).outbound_delay_factor = 1.4;
     }
-    fx.rsm->SetTopology(tree);
-    fx.rsm->Start();
-    fx.sim.RunUntil(20 * kSec);
-    committed[run] = fx.rsm->committed_blocks();
+    d->tree().SetTopology(tree);
+    d->Start();
+    d->RunUntil(20 * kSec);
+    committed[run] = d->tree().committed_blocks();
   }
   EXPECT_LT(committed[1], committed[0]);
 }
@@ -194,14 +168,13 @@ TEST(TreeRsmSim, DeterministicAcrossRuns) {
   uint64_t blocks[2];
   double lat[2];
   for (int run = 0; run < 2; ++run) {
-    TreeRsmOptions opts;
-    TreeFixture fx(21, 6, Europe21(), opts);
+    auto d = TreeDeployment(21, 6, Europe21(), {});
     Rng rng(9);
-    fx.rsm->SetTopology(RandomTree(21, rng));
-    fx.rsm->Start();
-    fx.sim.RunUntil(10 * kSec);
-    blocks[run] = fx.rsm->committed_blocks();
-    lat[run] = fx.rsm->latency_rec().stat().mean();
+    d->tree().SetTopology(RandomTree(21, rng));
+    d->Start();
+    d->RunUntil(10 * kSec);
+    blocks[run] = d->tree().committed_blocks();
+    lat[run] = d->tree().latency_rec().stat().mean();
   }
   EXPECT_EQ(blocks[0], blocks[1]);
   EXPECT_DOUBLE_EQ(lat[0], lat[1]);
@@ -209,45 +182,26 @@ TEST(TreeRsmSim, DeterministicAcrossRuns) {
 
 // --- PBFT family (Fig. 7 machinery) ------------------------------------------
 
-struct PbftFixture {
-  explicit PbftFixture(PbftOptions opts)
-      : cities([&] {
-          // Replicas and clients colocated: city list doubled.
-          auto c = Europe21();
-          auto twice = c;
-          twice.insert(twice.end(), c.begin(), c.end());
-          return twice;
-        }()),
-        latency_model(cities),
-        keys(opts.n, 1) {
-    net = std::make_unique<Network>(&sim, &latency_model, &faults);
-    harness = std::make_unique<PbftHarness>(&sim, net.get(), &keys, opts);
-  }
+std::unique_ptr<Deployment> PbftDeployment(Protocol protocol, PbftOptions opts) {
+  return Deployment::Builder()
+      .WithGeo(Europe21())
+      .WithProtocol(protocol)
+      .WithPbftOptions(opts)
+      .Build();
+}
 
-  std::vector<City> cities;
-  Simulator sim;
-  GeoLatencyModel latency_model;
-  FaultModel faults;
-  KeyStore keys;
-  std::unique_ptr<Network> net;
-  std::unique_ptr<PbftHarness> harness;
-};
-
-PbftOptions BaseOptions(PbftMode mode) {
+PbftOptions BaseOptions() {
   PbftOptions opts;
-  opts.n = 21;
-  opts.f = 6;
-  opts.mode = mode;
   opts.optimize_at = 5 * kSec;
   return opts;
 }
 
 TEST(PbftSim, CommitsAndServesClients) {
-  PbftFixture fx(BaseOptions(PbftMode::kPbft));
-  fx.harness->Start();
-  fx.sim.RunUntil(10 * kSec);
-  EXPECT_GT(fx.harness->committed_instances(), 20u);
-  const auto& samples = fx.harness->client(0).samples();
+  auto d = PbftDeployment(Protocol::kPbft, BaseOptions());
+  d->Start();
+  d->RunUntil(10 * kSec);
+  EXPECT_GT(d->pbft().committed_instances(), 20u);
+  const auto& samples = d->pbft().client(0).samples();
   ASSERT_GT(samples.size(), 10u);
   for (const ClientSample& s : samples) {
     EXPECT_GT(s.latency_ms, 1.0);
@@ -256,12 +210,12 @@ TEST(PbftSim, CommitsAndServesClients) {
 }
 
 TEST(PbftSim, AwareOptimizationReducesLatency) {
-  PbftFixture fx(BaseOptions(PbftMode::kAware));
-  fx.harness->Start();
-  fx.sim.RunUntil(30 * kSec);
-  const auto& samples = fx.harness->client(0).samples();
-  ASSERT_FALSE(fx.harness->reconfigure_times().empty());
-  const SimTime opt_at = fx.harness->reconfigure_times().front();
+  auto d = PbftDeployment(Protocol::kAware, BaseOptions());
+  d->Start();
+  d->RunUntil(30 * kSec);
+  const auto& samples = d->pbft().client(0).samples();
+  ASSERT_FALSE(d->pbft().reconfigure_times().empty());
+  const SimTime opt_at = d->pbft().reconfigure_times().front();
   RunningStat before, after;
   for (const ClientSample& s : samples) {
     (s.at < opt_at ? before : after).Add(s.latency_ms);
@@ -272,35 +226,35 @@ TEST(PbftSim, AwareOptimizationReducesLatency) {
 }
 
 TEST(PbftSim, ProbesFillLatencyMatrix) {
-  PbftFixture fx(BaseOptions(PbftMode::kAware));
-  fx.harness->Start();
-  fx.sim.RunUntil(2 * kSec);
-  EXPECT_DOUBLE_EQ(fx.harness->matrix().Coverage(), 1.0);
+  auto d = PbftDeployment(Protocol::kAware, BaseOptions());
+  d->Start();
+  d->RunUntil(2 * kSec);
+  EXPECT_DOUBLE_EQ(d->pbft().matrix().Coverage(), 1.0);
 }
 
 TEST(PbftSim, DelayAttackDetectedOnlyByOptiAware) {
   // The Fig. 7 storyline: the replica holding the leader role after Aware's
   // optimization turns Byzantine and delays its Pre-Prepares.
-  for (PbftMode mode : {PbftMode::kAware, PbftMode::kOptiAware}) {
-    PbftOptions opts = BaseOptions(mode);
+  for (Protocol protocol : {Protocol::kAware, Protocol::kOptiAware}) {
+    PbftOptions opts = BaseOptions();
     opts.delta = 1.5;
-    PbftFixture fx(opts);
+    auto d = PbftDeployment(protocol, opts);
     ReplicaId attacker = kNoReplica;
-    fx.sim.ScheduleAt(15 * kSec, [&] {
-      attacker = fx.harness->config().leader;
-      auto& leader_faults = fx.faults.Mutable(attacker);
+    d->sim().ScheduleAt(15 * kSec, [&] {
+      attacker = d->pbft().config().leader;
+      auto& leader_faults = d->faults().Mutable(attacker);
       leader_faults.proposal_delay = 600 * kMsec;
       leader_faults.fast_probes = true;  // probes stay fast: Aware stays blind
     });
-    fx.harness->Start();
-    fx.sim.RunUntil(60 * kSec);
+    d->Start();
+    d->RunUntil(60 * kSec);
     ASSERT_NE(attacker, kNoReplica);
-    if (mode == PbftMode::kOptiAware) {
-      EXPECT_NE(fx.harness->config().leader, attacker)
+    if (protocol == Protocol::kOptiAware) {
+      EXPECT_NE(d->pbft().config().leader, attacker)
           << "OptiAware must reassign the leader role";
-      EXPECT_FALSE(fx.harness->suspicion_times().empty());
+      EXPECT_FALSE(d->pbft().suspicion_times().empty());
       // Latency recovered: recent samples far below the attack latency.
-      const auto& samples = fx.harness->client(0).samples();
+      const auto& samples = d->pbft().client(0).samples();
       ASSERT_GT(samples.size(), 10u);
       double tail = 0;
       int count = 0;
@@ -312,9 +266,9 @@ TEST(PbftSim, DelayAttackDetectedOnlyByOptiAware) {
     } else {
       // Aware has no suspicion machinery: the attacker keeps the leader role
       // and the system stays degraded.
-      EXPECT_EQ(fx.harness->config().leader, attacker);
-      EXPECT_TRUE(fx.harness->suspicion_times().empty());
-      const auto& samples = fx.harness->client(0).samples();
+      EXPECT_EQ(d->pbft().config().leader, attacker);
+      EXPECT_TRUE(d->pbft().suspicion_times().empty());
+      const auto& samples = d->pbft().client(0).samples();
       ASSERT_GT(samples.size(), 10u);
       EXPECT_GT(samples.back().latency_ms, 400.0);
     }
@@ -324,13 +278,13 @@ TEST(PbftSim, DelayAttackDetectedOnlyByOptiAware) {
 TEST(PbftSim, NoFalseSuspicionsWithoutAttack) {
   // Lemma 3 in action: after the matrix is measured, correct replicas do not
   // suspect each other under honest timing.
-  PbftOptions opts = BaseOptions(PbftMode::kOptiAware);
+  PbftOptions opts = BaseOptions();
   opts.delta = 1.5;
-  PbftFixture fx(opts);
-  fx.harness->Start();
-  fx.sim.RunUntil(30 * kSec);
-  EXPECT_TRUE(fx.harness->suspicion_times().empty());
-  EXPECT_GT(fx.harness->committed_instances(), 50u);
+  auto d = PbftDeployment(Protocol::kOptiAware, opts);
+  d->Start();
+  d->RunUntil(30 * kSec);
+  EXPECT_TRUE(d->pbft().suspicion_times().empty());
+  EXPECT_GT(d->pbft().committed_instances(), 50u);
 }
 
 }  // namespace
