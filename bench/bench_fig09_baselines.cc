@@ -60,7 +60,8 @@ Result RunStar(const std::vector<City>& cities, bool rotate_root) {
                 m.mean_latency_ms};
 }
 
-void RunConfig(const char* name, const std::vector<City>& cities) {
+void RunConfig(BenchReporter& report, const char* name,
+               const std::vector<City>& cities) {
   const uint32_t n = static_cast<uint32_t>(cities.size());
   const uint32_t f = (n - 1) / 3;
   const LatencyMatrix matrix = MatrixFromCities(cities);
@@ -76,26 +77,31 @@ void RunConfig(const char* name, const std::vector<City>& cities) {
       AnnealTree(n, all, matrix, 2 * f + 1, rng, params);
   const TreeTopology kauri_tree = RandomTree(n, rng);
 
-  const Result opti_pipe = RunTree(cities, Protocol::kOptiTree, opti_tree, 3);
-  const Result opti_nopipe = RunTree(cities, Protocol::kOptiTree, opti_tree, 1);
-  const Result kauri_pipe = RunTree(cities, Protocol::kKauri, kauri_tree, 3);
-  const Result hs_rr = RunStar(cities, true);
-  const Result hs_fixed = RunStar(cities, false);
-
-  std::printf("%-11s %9.0f /%7.0f %9.0f /%7.0f %9.0f /%7.0f %9.0f /%7.0f %9.0f /%7.0f\n",
-              name, opti_pipe.ops, opti_pipe.latency_ms, opti_nopipe.ops,
-              opti_nopipe.latency_ms, kauri_pipe.ops, kauri_pipe.latency_ms,
-              hs_rr.ops, hs_rr.latency_ms, hs_fixed.ops, hs_fixed.latency_ms);
+  const struct {
+    const char* protocol;
+    Result r;
+  } series[] = {
+      {"OptiTree", RunTree(cities, Protocol::kOptiTree, opti_tree, 3)},
+      {"OptiTree(no pipe)", RunTree(cities, Protocol::kOptiTree, opti_tree, 1)},
+      {"Kauri(pipe)", RunTree(cities, Protocol::kKauri, kauri_tree, 3)},
+      {"HotStuff-rr", RunStar(cities, true)},
+      {"HotStuff-fixed", RunStar(cities, false)},
+  };
+  for (const auto& s : series) {
+    report.AddRow({name, s.protocol, BenchReporter::Num(s.r.ops, 0),
+                   BenchReporter::Num(s.r.latency_ms, 0)});
+  }
 }
 
 void RunBench() {
   PrintHeader("Fig. 9: throughput [op/s] / latency [ms] by geographic spread");
-  std::printf("%-11s %-19s %-19s %-19s %-19s %-19s\n", "config", "OptiTree",
-              "OptiTree(no pipe)", "Kauri(pipe)", "HotStuff-rr", "HotStuff-fixed");
-  RunConfig("Europe21", Europe21());
-  RunConfig("NA-EU43", NaEu43());
-  RunConfig("Stellar56", Stellar56());
-  RunConfig("Global73", Global73());
+  BenchReporter report("fig09",
+                       {"config", "protocol", "ops_per_sec", "latency_ms"});
+  RunConfig(report, "Europe21", Europe21());
+  RunConfig(report, "NA-EU43", NaEu43());
+  RunConfig(report, "Stellar56", Stellar56());
+  RunConfig(report, "Global73", Global73());
+  report.Print();
   std::printf("\nShape check: OptiTree beats Kauri(pipe) in throughput and "
               "latency on every config; both trees beat HotStuff's star "
               "throughput under per-replica bandwidth limits.\n");

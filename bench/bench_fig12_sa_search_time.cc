@@ -21,11 +21,8 @@ void RunBench() {
   const double search_seconds[] = {0.25, 0.5, 1.0, 2.0, 4.0};
 
   PrintHeader("Fig. 12: tree latency vs SA search time");
-  std::printf("%-6s", "n");
-  for (double s : search_seconds) {
-    std::printf("  %6.2fs           ", s);
-  }
-  std::printf("\n");
+  BenchReporter report(
+      "fig12", {"n", "search_s", "latency_s_mean", "latency_s_ci95"});
 
   for (uint32_t n : sizes) {
     const LatencyMatrix matrix = MatrixFromCities(GlobalN(n, 424242));
@@ -35,7 +32,6 @@ void RunBench() {
     for (ReplicaId id = 0; id < n; ++id) {
       all[id] = id;
     }
-    std::printf("%-6u", n);
     for (double seconds : search_seconds) {
       const AnnealingParams params = ParamsForSearchSeconds(seconds);
       RunningStat stat;
@@ -44,10 +40,13 @@ void RunBench() {
         const TreeTopology tree = AnnealTree(n, all, matrix, k, rng, params);
         stat.Add(TreeScore(tree, matrix, k) / 1000.0);
       }
-      std::printf("  %6.3f +-%-7.3f", stat.mean(), stat.ci95());
+      report.AddRow({BenchReporter::Num(static_cast<uint64_t>(n)),
+                     BenchReporter::Num(seconds, 2),
+                     BenchReporter::Num(stat.mean(), 3),
+                     BenchReporter::Num(stat.ci95(), 3)});
     }
-    std::printf("\n");
   }
+  report.Print();
   std::printf("\nShape check: latency decreases (and CI shrinks) with search "
               "time; large n benefits most.\n");
 }

@@ -1,0 +1,69 @@
+// Event-core scaling sweep: n ∈ {50, 100, 200, 400} tree replicas running
+// the Kauri dissemination tree, reporting how fast the slab-backed
+// simulator drains the resulting message traffic.
+//
+// This is the bench the slab event core exists for: every proposal, vote,
+// and aggregate rides the typed delivery lane and every protocol timer the
+// typed timer lane, so the run must schedule ZERO closure events — asserted
+// below via EventCoreStats. The wall-clock events/sec column is the
+// substrate's scaling headroom for the paper's larger sweeps (Figs. 7-15).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/api/deployment.h"
+#include "src/util/check.h"
+
+namespace optilog {
+namespace {
+
+constexpr SimTime kRunTime = 20 * kSec;
+
+void RunBench() {
+  PrintHeader("Event-core scaling: Kauri trees, 20 s simulated");
+  BenchReporter report("scale_events",
+                       {"n", "blocks", "events", "events_per_sec_wall",
+                        "typed_deliveries", "allocations_avoided",
+                        "peak_slab_slots", "peak_pending"});
+
+  for (uint32_t n : {50u, 100u, 200u, 400u}) {
+    TreeRsmOptions opts;
+    opts.pipeline_depth = 3;
+    auto d = Deployment::Builder()
+                 .WithReplicas(n, (n - 1) / 3)
+                 .WithProtocol(Protocol::kKauri)
+                 .WithTreeOptions(opts)
+                 .WithSeed(7)
+                 .Build();
+    d->Start();
+    d->RunUntil(kRunTime);
+    const MetricsReport m = d->Metrics();
+    const EventCoreStats& ec = m.event_core;
+
+    // The whole point of the typed delivery/timer path: nothing on a tree
+    // protocol's hot loop falls back to the closure lane.
+    OL_CHECK(ec.closure_events == 0);
+    OL_CHECK(ec.typed_deliveries > 0 && ec.typed_timers > 0);
+    OL_CHECK(m.committed > 0);
+
+    report.AddRow({BenchReporter::Num(static_cast<uint64_t>(n)),
+                   BenchReporter::Num(m.committed),
+                   BenchReporter::Num(ec.events_executed),
+                   BenchReporter::Num(ec.events_per_sec_wall(), 0),
+                   BenchReporter::Num(ec.typed_deliveries),
+                   BenchReporter::Num(ec.allocations_avoided()),
+                   BenchReporter::Num(static_cast<uint64_t>(ec.peak_slab_slots)),
+                   BenchReporter::Num(static_cast<uint64_t>(ec.peak_pending))});
+  }
+  report.Print();
+  std::printf("Shape check: events/sec stays flat-ish as n grows (slab + "
+              "typed lanes keep per-event cost constant); closure events "
+              "are zero at every size.\n");
+}
+
+}  // namespace
+}  // namespace optilog
+
+int main() {
+  optilog::RunBench();
+  return 0;
+}

@@ -5,7 +5,10 @@
 // (ordering, rough factors, crossovers) is what EXPERIMENTS.md compares.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "src/core/annealing.h"
@@ -44,5 +47,66 @@ inline AnnealingParams ParamsForSearchSeconds(double seconds) {
 inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }
+
+// Result reporter shared by the figure benches: collects rows, prints an
+// aligned human-readable table, then re-emits the same rows as CSV (prefixed
+// `csv,` so plotting scripts can grep them out of mixed bench output).
+class BenchReporter {
+ public:
+  BenchReporter(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Numeric cell formatting. Fixed-point with `precision` decimals.
+  static std::string Num(double v, int precision = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+  static std::string Num(uint64_t v) { return std::to_string(v); }
+
+  void Print() const {
+    std::vector<size_t> width(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      width[c] = columns_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) {
+          width[c] = std::max(width[c], row[c].size());
+        }
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]),
+                    c < cells.size() ? cells[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+    std::printf("\n");
+    auto csv_row = [&](const std::vector<std::string>& cells) {
+      std::printf("csv,%s", name_.c_str());
+      for (const auto& cell : cells) {
+        std::printf(",%s", cell.c_str());
+      }
+      std::printf("\n");
+    };
+    csv_row(columns_);
+    for (const auto& row : rows_) {
+      csv_row(row);
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
 
 }  // namespace optilog

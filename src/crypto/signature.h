@@ -21,12 +21,10 @@
 
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha256.h"
+#include "src/sim/ids.h"  // re-exports ReplicaId for everything above crypto
 #include "src/util/bytes.h"
 
 namespace optilog {
-
-using ReplicaId = uint32_t;
-constexpr ReplicaId kNoReplica = 0xffffffffu;
 
 constexpr size_t kSignatureSize = 64;
 using SigBytes = std::array<uint8_t, kSignatureSize>;

@@ -75,9 +75,12 @@ void TreeReplica::HandlePropose(ReplicaId from, const ProposeMsg& msg, SimTime a
       static_cast<SimTime>(harness_->opts_.delta *
                            static_cast<double>(FromMs(lagg_ms))) +
       harness_->opts_.aggregation_slack;
-  const uint64_t view = msg.view;
-  agg.timer = harness_->sim_->ScheduleAfter(
-      deadline, [this, view] { MaybeSendAggregate(view); });
+  agg.timer = harness_->sim_->ScheduleTimer(this, msg.view, deadline);
+}
+
+void TreeReplica::OnTimer(uint64_t tag, SimTime at) {
+  (void)at;
+  MaybeSendAggregate(tag);
 }
 
 void TreeReplica::HandleVote(ReplicaId from, const VoteMsg& msg) {
@@ -209,6 +212,7 @@ MetricsReport TreeRsm::Metrics() const {
   report.throughput_per_sec = throughput_.per_second();
   report.reconfig_times = reconfig_times_;
   report.suspicion_times = suspicion_times_;
+  report.event_core = sim_->event_core_stats();
   return report;
 }
 
@@ -221,12 +225,17 @@ void TreeRsm::Start() {
 
 void TreeRsm::PauseProposals(SimTime duration) {
   paused_ = true;
-  sim_->ScheduleAfter(duration, [this] {
+  sim_->ScheduleTimer(this, kTimerResumeProposals, duration);
+}
+
+void TreeRsm::OnTimer(uint64_t tag, SimTime at) {
+  (void)at;
+  if (tag == kTimerResumeProposals) {
     paused_ = false;
-    while (in_flight_ < opts_.pipeline_depth) {
-      StartRound();
-    }
-  });
+    RefillPipeline();
+    return;
+  }
+  OnRoundTimeout(tag);
 }
 
 void TreeRsm::StartRound() {
@@ -261,9 +270,7 @@ void TreeRsm::StartRound() {
     net_->Send(tree_.root(), child, propose);
   }
 
-  round.timeout = sim_->ScheduleAfter(RoundTimeout(), [this, view] {
-    OnRoundTimeout(view);
-  });
+  round.timeout = sim_->ScheduleTimer(this, view, RoundTimeout());
 }
 
 void TreeRsm::OnRootVotes(uint64_t view, Digest block,

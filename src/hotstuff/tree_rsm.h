@@ -69,6 +69,9 @@ class TreeReplica : public Actor {
 
   void OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) override;
 
+  // Aggregation deadline for the view carried in `tag` (Lagg, Lemma 6).
+  void OnTimer(uint64_t tag, SimTime at) override;
+
   ReplicaId id() const { return id_; }
 
  private:
@@ -92,7 +95,7 @@ class TreeReplica : public Actor {
   std::map<uint64_t, PendingAggregation> aggregating_;
 };
 
-class TreeRsm : public ConsensusEngine {
+class TreeRsm : public ConsensusEngine, public TimerTarget {
  public:
   // Reconfiguration policy: returns the next tree after a failure, or
   // nullopt to keep the current one (e.g. star fallback already active).
@@ -140,8 +143,16 @@ class TreeRsm : public ConsensusEngine {
   // Votes needed to commit a block under the current settings.
   uint32_t CommitThreshold() const;
 
+  // Typed timers: the tag is the view of a round-failure timer, or
+  // kTimerResumeProposals for the end of a PauseProposals window.
+  void OnTimer(uint64_t tag, SimTime at) override;
+
  private:
   friend class TreeReplica;
+
+  // Round-failure tags are views, which count up from 0; the resume tag
+  // can never collide.
+  static constexpr uint64_t kTimerResumeProposals = ~0ull;
 
   struct Round {
     Digest block{};

@@ -19,6 +19,14 @@ class LatencyModel {
   virtual ~LatencyModel() = default;
   virtual SimTime OneWay(ReplicaId from, ReplicaId to) const = 0;
   SimTime Rtt(ReplicaId a, ReplicaId b) const { return OneWay(a, b) + OneWay(b, a); }
+
+  // Multicast fast path: the dense one-way row out of `from`, indexable by
+  // destination id, or nullptr when the model has no row storage (callers
+  // then fall back to per-destination OneWay).
+  virtual const std::vector<SimTime>* OneWayRow(ReplicaId from) const {
+    (void)from;
+    return nullptr;
+  }
 };
 
 // Latencies derived from a city assignment (replica i lives in cities[i]).
@@ -27,6 +35,11 @@ class GeoLatencyModel : public LatencyModel {
   explicit GeoLatencyModel(std::vector<City> cities);
 
   SimTime OneWay(ReplicaId from, ReplicaId to) const override;
+
+  const std::vector<SimTime>* OneWayRow(ReplicaId from) const override {
+    OL_CHECK(from < one_way_.size());
+    return &one_way_[from];
+  }
 
   size_t size() const { return cities_.size(); }
   const City& city(ReplicaId id) const { return cities_.at(id); }
@@ -50,6 +63,11 @@ class MatrixLatencyModel : public LatencyModel {
   SimTime OneWay(ReplicaId from, ReplicaId to) const override {
     OL_CHECK(from < one_way_.size() && to < one_way_.size());
     return one_way_[from][to];
+  }
+
+  const std::vector<SimTime>* OneWayRow(ReplicaId from) const override {
+    OL_CHECK(from < one_way_.size());
+    return &one_way_[from];
   }
 
   void Set(ReplicaId a, ReplicaId b, SimTime one_way) {

@@ -4,18 +4,27 @@
 
 namespace optilog {
 
-SimTime Network::DeliveryDelay(ReplicaId from, ReplicaId to,
-                               const Message& msg) const {
-  SimTime delay = latency_->OneWay(from, to);
+Network::OutboundProfile Network::ClassifyOutbound(ReplicaId from,
+                                                   const Message& msg) const {
   const ReplicaFaults& f = faults_->Of(from);
+  OutboundProfile profile;
   const bool is_probe = is_probe_ && is_probe_(msg);
   if (f.outbound_delay_factor != 1.0 && !(f.fast_probes && is_probe)) {
-    delay = static_cast<SimTime>(static_cast<double>(delay) * f.outbound_delay_factor);
+    profile.delay_factor = f.outbound_delay_factor;
   }
   if (f.proposal_delay > 0 && is_proposal_ && is_proposal_(msg)) {
-    delay += f.proposal_delay;
+    profile.proposal_extra = f.proposal_delay;
   }
-  return delay;
+  return profile;
+}
+
+SimTime Network::PerturbPropagation(const OutboundProfile& profile,
+                                    SimTime propagation) const {
+  if (profile.delay_factor != 1.0) {
+    propagation = static_cast<SimTime>(static_cast<double>(propagation) *
+                                       profile.delay_factor);
+  }
+  return propagation + profile.proposal_extra;
 }
 
 SimTime Network::OccupyUplink(ReplicaId from, size_t bytes) {
@@ -30,6 +39,32 @@ SimTime Network::OccupyUplink(ReplicaId from, size_t bytes) {
   return free_at;
 }
 
+void Network::OnDelivery(ReplicaId from, ReplicaId to, const MessagePtr& msg,
+                         SimTime at) {
+  if (faults_->IsCrashedAt(to, at)) {
+    return;
+  }
+  auto it = actors_.find(to);
+  if (it == actors_.end()) {
+    return;
+  }
+  ++stats_.messages_delivered;
+  it->second->OnMessage(from, msg, at);
+}
+
+void Network::LoopbackSink::OnDelivery(ReplicaId from, ReplicaId to,
+                                       const MessagePtr& msg, SimTime at) {
+  // A crash that lands between scheduling and delivery drops the loopback
+  // message, matching Send's receiver-side semantics.
+  if (net->faults_->IsCrashedAt(to, at)) {
+    return;
+  }
+  auto it = net->actors_.find(to);
+  if (it != net->actors_.end()) {
+    it->second->OnMessage(from, msg, at);
+  }
+}
+
 void Network::Send(ReplicaId from, ReplicaId to, MessagePtr msg) {
   if (faults_->IsCrashedAt(from, sim_->now())) {
     return;
@@ -37,28 +72,37 @@ void Network::Send(ReplicaId from, ReplicaId to, MessagePtr msg) {
   ++stats_.messages_sent;
   stats_.bytes_sent += msg->WireSize();
   const SimTime sent_at = OccupyUplink(from, msg->WireSize());
-  const SimTime delay = (sent_at - sim_->now()) + DeliveryDelay(from, to, *msg);
-  sim_->ScheduleAfter(delay, [this, from, to, msg = std::move(msg)] {
-    if (faults_->IsCrashedAt(to, sim_->now())) {
-      return;
-    }
-    auto it = actors_.find(to);
-    if (it == actors_.end()) {
-      return;
-    }
-    ++stats_.messages_delivered;
-    it->second->OnMessage(from, msg, sim_->now());
-  });
+  const OutboundProfile profile = ClassifyOutbound(from, *msg);
+  const SimTime delay = (sent_at - sim_->now()) +
+                        PerturbPropagation(profile, latency_->OneWay(from, to));
+  sim_->ScheduleDelivery(delay, this, from, to, std::move(msg));
 }
 
 void Network::Multicast(ReplicaId from, const std::vector<ReplicaId>& to,
                         MessagePtr msg) {
+  if (faults_->IsCrashedAt(from, sim_->now())) {
+    return;
+  }
+  // Sender-side fault profile and message classification are per-message
+  // facts: evaluate them once, then walk the latency row per destination.
+  // The one shared immutable message fans out by refcount, and each copy
+  // still occupies the uplink separately (the star-bottleneck effect).
+  const OutboundProfile profile = ClassifyOutbound(from, *msg);
+  const size_t wire = msg->WireSize();
+  const std::vector<SimTime>* row = latency_->OneWayRow(from);
   for (ReplicaId dest : to) {
     if (dest == from) {
-      SendSelf(from, msg);
-    } else {
-      Send(from, dest, msg);
+      sim_->ScheduleDelivery(0, &loopback_, from, from, msg);
+      continue;
     }
+    ++stats_.messages_sent;
+    stats_.bytes_sent += wire;
+    const SimTime sent_at = OccupyUplink(from, wire);
+    const SimTime prop =
+        row != nullptr ? row->at(dest) : latency_->OneWay(from, dest);
+    const SimTime delay =
+        (sent_at - sim_->now()) + PerturbPropagation(profile, prop);
+    sim_->ScheduleDelivery(delay, this, from, dest, msg);
   }
 }
 
@@ -66,12 +110,7 @@ void Network::SendSelf(ReplicaId id, MessagePtr msg) {
   if (faults_->IsCrashedAt(id, sim_->now())) {
     return;
   }
-  sim_->ScheduleAfter(0, [this, id, msg = std::move(msg)] {
-    auto it = actors_.find(id);
-    if (it != actors_.end()) {
-      it->second->OnMessage(id, msg, sim_->now());
-    }
-  });
+  sim_->ScheduleDelivery(0, &loopback_, id, id, std::move(msg));
 }
 
 }  // namespace optilog

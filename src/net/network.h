@@ -6,6 +6,12 @@
 // offset to messages flagged as proposals. Receivers that have crashed drop
 // deliveries. Per the system model (§2), an adversary cannot delay traffic
 // between two correct replicas, so only *sender-side* faults perturb links.
+//
+// Deliveries ride the simulator's typed fast path: the network is the
+// DeliverySink, Send/Multicast schedule {from, to, msg} slab events, and no
+// closure is allocated per message. Multicast shares one immutable message
+// across all recipients and evaluates the sender's fault profile and the
+// message classifiers once, walking the latency row per destination.
 #pragma once
 
 #include <functional>
@@ -25,10 +31,12 @@ struct NetworkStats {
   uint64_t bytes_sent = 0;
 };
 
-class Network {
+class Network : private DeliverySink {
  public:
   Network(Simulator* sim, const LatencyModel* latency, const FaultModel* faults)
-      : sim_(sim), latency_(latency), faults_(faults) {}
+      : sim_(sim), latency_(latency), faults_(faults) {
+    loopback_.net = this;
+  }
 
   void Register(ReplicaId id, Actor* actor) { actors_[id] = actor; }
 
@@ -55,7 +63,9 @@ class Network {
   void Multicast(ReplicaId from, const std::vector<ReplicaId>& to, MessagePtr msg);
 
   // Loopback with zero delay; used by protocols that treat self-messages
-  // uniformly.
+  // uniformly. Like Send, honors a receiver crash that lands between
+  // scheduling and delivery. Loopback traffic never touches the wire, so it
+  // is excluded from NetworkStats.
   void SendSelf(ReplicaId id, MessagePtr msg);
 
   const NetworkStats& stats() const { return stats_; }
@@ -64,7 +74,29 @@ class Network {
   const FaultModel* faults() const { return faults_; }
 
  private:
-  SimTime DeliveryDelay(ReplicaId from, ReplicaId to, const Message& msg) const;
+  // Zero-delay self deliveries skip the wire-facing bookkeeping of the main
+  // sink but share its crash-at-delivery semantics.
+  struct LoopbackSink : DeliverySink {
+    void OnDelivery(ReplicaId from, ReplicaId to, const MessagePtr& msg,
+                    SimTime at) override;
+    Network* net = nullptr;
+  };
+
+  // DeliverySink: receiver-side checks run at delivery time.
+  void OnDelivery(ReplicaId from, ReplicaId to, const MessagePtr& msg,
+                  SimTime at) override;
+
+  // Sender-side facts that hold for every copy of one message: whether the
+  // sender's delay factor applies and any proposal-delay offset. Computed
+  // once per Send and once per Multicast, then applied per destination by
+  // PerturbPropagation — the single place delivery-delay policy lives.
+  struct OutboundProfile {
+    double delay_factor = 1.0;  // 1.0 = honest
+    SimTime proposal_extra = 0;
+  };
+  OutboundProfile ClassifyOutbound(ReplicaId from, const Message& msg) const;
+  SimTime PerturbPropagation(const OutboundProfile& profile,
+                             SimTime propagation) const;
 
   // Time the sender's NIC finishes serializing this message; advances the
   // per-sender busy horizon.
@@ -78,6 +110,7 @@ class Network {
   double bandwidth_bps_ = 0.0;
   std::function<bool(const Message&)> is_proposal_;
   std::function<bool(const Message&)> is_probe_;
+  LoopbackSink loopback_;
   NetworkStats stats_;
 };
 

@@ -196,9 +196,13 @@ void PbftClient::OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) {
   ++replies_;
   if (replies_ == harness_->opts_.f + 1) {
     samples_.push_back(ClientSample{at, ToMs(at - current_sent_at_)});
-    harness_->sim_->ScheduleAfter(harness_->opts_.request_interval,
-                                  [this] { SendNext(harness_->sim_->now()); });
+    harness_->sim_->ScheduleTimer(this, 0, harness_->opts_.request_interval);
   }
+}
+
+void PbftClient::OnTimer(uint64_t tag, SimTime at) {
+  (void)tag;
+  SendNext(at);
 }
 
 // --- PbftHarness -----------------------------------------------------------------
@@ -264,7 +268,21 @@ void PbftHarness::Start() {
   }
   if (opts_.mode != PbftMode::kPbft) {
     RunProbeRound();
-    sim_->ScheduleAt(opts_.optimize_at, [this] { RunAwareOptimization(); });
+    sim_->ScheduleTimerAt(opts_.optimize_at, this, kTimerAwareOptimize);
+  }
+}
+
+void PbftHarness::OnTimer(uint64_t tag, SimTime at) {
+  (void)at;
+  switch (tag) {
+    case kTimerProbeRound:
+      RunProbeRound();
+      break;
+    case kTimerAwareOptimize:
+      RunAwareOptimization();
+      break;
+    default:
+      break;
   }
 }
 
@@ -298,6 +316,7 @@ MetricsReport PbftHarness::Metrics() const {
     }
   }
   report.mean_latency_ms = latency.mean();
+  report.event_core = sim_->event_core_stats();
   return report;
 }
 
@@ -425,7 +444,7 @@ void PbftHarness::RunProbeRound() {
     }
     CommitMeasurement(MakeLatencyMeasurement(rec, *keys_));
   }
-  sim_->ScheduleAfter(opts_.probe_interval, [this] { RunProbeRound(); });
+  sim_->ScheduleTimer(this, kTimerProbeRound, opts_.probe_interval);
 }
 
 void PbftHarness::RunAwareOptimization() {

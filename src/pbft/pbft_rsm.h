@@ -106,6 +106,8 @@ class PbftClient : public Actor {
   PbftClient(ReplicaId id, PbftHarness* harness) : id_(id), harness_(harness) {}
 
   void OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) override;
+  // Think-time expiry: issue the next closed-loop request.
+  void OnTimer(uint64_t tag, SimTime at) override;
   void SendNext(SimTime at);
 
   const std::vector<ClientSample>& samples() const { return samples_; }
@@ -119,7 +121,7 @@ class PbftClient : public Actor {
   std::vector<ClientSample> samples_;
 };
 
-class PbftHarness : public ConsensusEngine {
+class PbftHarness : public ConsensusEngine, public TimerTarget {
  public:
   PbftHarness(Simulator* sim, Network* net, const KeyStore* keys, PbftOptions opts);
 
@@ -128,6 +130,10 @@ class PbftHarness : public ConsensusEngine {
   void SetTopologyOrConfig(const RoleConfig& config) override;
   RoleConfig ActiveConfig() const override { return config_; }
   MetricsReport Metrics() const override;
+
+  // Typed harness timers: the periodic probe round and Aware's scheduled
+  // optimization.
+  void OnTimer(uint64_t tag, SimTime at) override;
 
   const RoleConfig& config() const { return config_; }
   const WeightScheme& scheme() const { return space_.scheme(); }
@@ -145,6 +151,9 @@ class PbftHarness : public ConsensusEngine {
  private:
   friend class PbftReplica;
   friend class PbftClient;
+
+  static constexpr uint64_t kTimerProbeRound = 1;
+  static constexpr uint64_t kTimerAwareOptimize = 2;
 
   ReplicaId ClientId(uint32_t i) const { return opts_.n + i; }
   bool IsClient(ReplicaId id) const { return id >= opts_.n; }

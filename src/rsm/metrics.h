@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sim/event_core.h"
 #include "src/sim/time.h"
 #include "src/util/stats.h"
 
@@ -71,6 +72,10 @@ struct MetricsReport {
   std::vector<uint64_t> throughput_per_sec;  // commands per second of sim time
   std::vector<SimTime> reconfig_times;
   std::vector<SimTime> suspicion_times;
+  // Event-core counters for the run's simulator: how much of the event
+  // traffic rode the typed (closure-free) lanes, and how fast the core
+  // drained it in wall-clock terms.
+  EventCoreStats event_core;
 
   double MeanOps(size_t from_sec, size_t to_sec) const {
     return MeanOpsPerSec(throughput_per_sec, from_sec, to_sec);

@@ -1,0 +1,14 @@
+// Replica identity. Lives at the bottom of the layering so the simulation
+// core (typed message deliveries name a sender and receiver) does not have
+// to depend on the crypto layer; crypto/signature.h re-exports these for
+// everything above it.
+#pragma once
+
+#include <cstdint>
+
+namespace optilog {
+
+using ReplicaId = uint32_t;
+constexpr ReplicaId kNoReplica = 0xffffffffu;
+
+}  // namespace optilog

@@ -3,54 +3,154 @@
 #include <algorithm>
 
 namespace optilog {
+namespace {
+
+// Accumulates wall-clock time spent inside a run loop into `*sink`.
+class WallTimer {
+ public:
+  explicit WallTimer(double* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~WallTimer() {
+    *sink_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start_)
+                  .count();
+  }
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+uint32_t Simulator::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  slots_.emplace_back();
+  stats_.peak_slab_slots = std::max(stats_.peak_slab_slots, slots_.size());
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::ReleaseSlot(uint32_t index) {
+  Slot& slot = slots_[index];
+  ++slot.gen;
+  slot.msg.reset();
+  slot.fn = nullptr;
+  slot.sink = nullptr;
+  slot.target = nullptr;
+  free_slots_.push_back(index);
+  --live_;
+}
+
+EventId Simulator::Commit(SimTime at, uint32_t index) {
+  queue_.push(Key{std::max(at, now_), next_seq_++, index, slots_[index].gen});
+  ++live_;
+  stats_.peak_pending = std::max(stats_.peak_pending, live_);
+  return PackId(index, slots_[index].gen);
+}
 
 EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
-  const EventId id = next_seq_++;
-  queue_.push(Event{std::max(at, now_), id, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+  const uint32_t index = AcquireSlot();
+  Slot& slot = slots_[index];
+  slot.kind = Kind::kClosure;
+  slot.fn = std::move(fn);
+  ++stats_.closure_events;
+  return Commit(at, index);
+}
+
+EventId Simulator::ScheduleDelivery(SimTime delay, DeliverySink* sink,
+                                    ReplicaId from, ReplicaId to,
+                                    MessagePtr msg) {
+  const uint32_t index = AcquireSlot();
+  Slot& slot = slots_[index];
+  slot.kind = Kind::kDelivery;
+  slot.sink = sink;
+  slot.from = from;
+  slot.to = to;
+  slot.msg = std::move(msg);
+  ++stats_.typed_deliveries;
+  return Commit(now_ + delay, index);
+}
+
+EventId Simulator::ScheduleTimerAt(SimTime at, TimerTarget* target,
+                                   uint64_t tag) {
+  const uint32_t index = AcquireSlot();
+  Slot& slot = slots_[index];
+  slot.kind = Kind::kTimer;
+  slot.target = target;
+  slot.tag = tag;
+  ++stats_.typed_timers;
+  return Commit(at, index);
 }
 
 void Simulator::Cancel(EventId id) {
   if (id == kNoEvent) {
     return;
   }
-  if (handlers_.erase(id) > 0) {
-    cancelled_.insert(id);
+  const uint32_t index = static_cast<uint32_t>(id & 0xffffffffu) - 1;
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (index >= slots_.size() || slots_[index].gen != gen) {
+    return;  // already ran, already cancelled, or slot reused
   }
+  ReleaseSlot(index);
+  ++stats_.cancellations;
 }
 
 bool Simulator::Step() {
   while (!queue_.empty()) {
-    const Event ev = queue_.top();
+    const Key key = queue_.top();
     queue_.pop();
-    auto tomb = cancelled_.find(ev.id);
-    if (tomb != cancelled_.end()) {
-      cancelled_.erase(tomb);
-      continue;
+    Slot& slot = slots_[key.index];
+    if (slot.gen != key.gen) {
+      continue;  // cancelled (slot possibly reused under a newer generation)
     }
-    auto it = handlers_.find(ev.id);
-    OL_CHECK(it != handlers_.end());
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
-    now_ = ev.at;
-    ++executed_;
-    fn();
+    now_ = key.at;
+    ++stats_.events_executed;
+    // Move the payload out before releasing: the handler may schedule new
+    // events, which can recycle this very slot (and grow the slab, so the
+    // `slot` reference must not outlive ReleaseSlot either).
+    switch (slot.kind) {
+      case Kind::kDelivery: {
+        DeliverySink* sink = slot.sink;
+        const ReplicaId from = slot.from;
+        const ReplicaId to = slot.to;
+        MessagePtr msg = std::move(slot.msg);
+        ReleaseSlot(key.index);
+        sink->OnDelivery(from, to, msg, now_);
+        break;
+      }
+      case Kind::kTimer: {
+        TimerTarget* target = slot.target;
+        const uint64_t tag = slot.tag;
+        ReleaseSlot(key.index);
+        target->OnTimer(tag, now_);
+        break;
+      }
+      case Kind::kClosure: {
+        std::function<void()> fn = std::move(slot.fn);
+        ReleaseSlot(key.index);
+        fn();
+        break;
+      }
+    }
     return true;
   }
   return false;
 }
 
 void Simulator::RunUntil(SimTime t) {
+  WallTimer timer(&stats_.wall_seconds);
   while (!queue_.empty()) {
-    // Peek past tombstones without executing.
-    const Event ev = queue_.top();
-    if (cancelled_.count(ev.id) > 0) {
+    // Peek past stale keys without executing.
+    const Key& key = queue_.top();
+    if (slots_[key.index].gen != key.gen) {
       queue_.pop();
-      cancelled_.erase(ev.id);
       continue;
     }
-    if (ev.at > t) {
+    if (key.at > t) {
       break;
     }
     Step();
@@ -59,6 +159,7 @@ void Simulator::RunUntil(SimTime t) {
 }
 
 void Simulator::RunAll() {
+  WallTimer timer(&stats_.wall_seconds);
   while (Step()) {
   }
 }

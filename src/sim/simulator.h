@@ -1,26 +1,32 @@
 // Discrete-event simulation engine.
 //
-// The simulator owns a virtual clock and a priority queue of events. Events
-// scheduled at the same instant run in scheduling order (a monotonically
-// increasing sequence number breaks ties), which makes runs bit-for-bit
-// reproducible. Cancellation is O(1) via a tombstone set; cancelled events
-// are skipped at pop time.
+// The simulator owns a virtual clock, a priority queue of (time, seq)
+// keys, and a slab of event slots. Events scheduled at the same instant run
+// in scheduling order (a monotonically increasing sequence number breaks
+// ties), which makes runs bit-for-bit reproducible regardless of event
+// kind. Cancellation is O(1): it bumps the slot's generation and returns
+// the slot to the free list; the stale queue key is skipped at pop time by
+// a generation mismatch, so no tombstone set is needed and pending() stays
+// exact under any Cancel/Step/RunUntil interleaving.
+//
+// Three event kinds share the slab (see event_core.h): typed message
+// deliveries and typed timers carry their payload inline in the slot —
+// the hot paths never allocate a closure — while std::function events
+// remain as the cold-path fallback.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "src/sim/event_core.h"
 #include "src/sim/time.h"
 #include "src/util/check.h"
 
 namespace optilog {
-
-using EventId = uint64_t;
-constexpr EventId kNoEvent = 0;
 
 class Simulator {
  public:
@@ -30,15 +36,30 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  // Schedules `fn` to run at absolute time `at` (clamped to now()).
+  // Cold path: schedules `fn` to run at absolute time `at` (clamped to
+  // now()). Reserved for one-off scenario hooks; protocol hot paths use the
+  // typed variants below.
   EventId ScheduleAt(SimTime at, std::function<void()> fn);
 
-  // Schedules `fn` after a relative delay.
+  // Cold path: schedules `fn` after a relative delay.
   EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
-  // Cancels a pending event; no-op if it already ran or was cancelled.
+  // Fast path: schedules `sink->OnDelivery(from, to, msg, at)` after
+  // `delay`. The message pointer is stored inline in the slab slot.
+  EventId ScheduleDelivery(SimTime delay, DeliverySink* sink, ReplicaId from,
+                           ReplicaId to, MessagePtr msg);
+
+  // Fast path: schedules `target->OnTimer(tag, at)` after `delay` /
+  // at absolute time `at` (clamped to now()).
+  EventId ScheduleTimer(TimerTarget* target, uint64_t tag, SimTime delay) {
+    return ScheduleTimerAt(now_ + delay, target, tag);
+  }
+  EventId ScheduleTimerAt(SimTime at, TimerTarget* target, uint64_t tag);
+
+  // Cancels a pending event; no-op if it already ran, was cancelled, or the
+  // slot has been reused (generation mismatch).
   void Cancel(EventId id);
 
   // Runs the next event. Returns false if the queue is empty.
@@ -52,27 +73,63 @@ class Simulator {
   // timers never drain).
   void RunAll();
 
-  size_t pending() const { return queue_.size() - cancelled_.size(); }
-  uint64_t events_executed() const { return executed_; }
+  // Exact count of live (scheduled, not yet run or cancelled) events.
+  size_t pending() const { return live_; }
+  uint64_t events_executed() const { return stats_.events_executed; }
+
+  const EventCoreStats& event_core_stats() const { return stats_; }
 
  private:
-  struct Event {
+  enum class Kind : uint8_t { kClosure, kDelivery, kTimer };
+
+  // One slab slot. Payload members for the kinds overlap in spirit but stay
+  // separate fields: the closure and message are cleared on release, so a
+  // recycled slot carries no stale ownership.
+  struct Slot {
+    uint32_t gen = 1;
+    Kind kind = Kind::kClosure;
+    ReplicaId from = kNoReplica;  // delivery
+    ReplicaId to = kNoReplica;    // delivery
+    uint64_t tag = 0;             // timer
+    DeliverySink* sink = nullptr;
+    TimerTarget* target = nullptr;
+    MessagePtr msg;
+    std::function<void()> fn;
+  };
+
+  // Queue keys are tiny; the payload stays put in the slab. `gen` detects
+  // keys whose slot was cancelled (and possibly reused) since the push.
+  struct Key {
     SimTime at;
     uint64_t seq;
-    EventId id;
+    uint32_t index;
+    uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Key& a, const Key& b) const {
       return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }
   };
 
+  // Claims a free slot (or grows the slab) and returns its index.
+  uint32_t AcquireSlot();
+  // Bumps the generation, drops owned payload, and recycles the slot.
+  void ReleaseSlot(uint32_t index);
+  // Pushes the queue key for a just-filled slot and returns its EventId.
+  EventId Commit(SimTime at, uint32_t index);
+
+  static EventId PackId(uint32_t index, uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) |
+           static_cast<EventId>(index + 1);
+  }
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
-  uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+  size_t live_ = 0;
+  std::priority_queue<Key, std::vector<Key>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  EventCoreStats stats_;
 };
 
 }  // namespace optilog

@@ -264,7 +264,14 @@ TEST(DeploymentBuilder, DefaultsFillGeoAndFaultBudget) {
   EXPECT_DOUBLE_EQ(d->matrix().Coverage(), 1.0);
   d->Start();
   d->RunUntil(10 * kSec);
-  EXPECT_GT(d->Metrics().committed, 10u);
+  const MetricsReport m = d->Metrics();
+  EXPECT_GT(m.committed, 10u);
+  // The unified report carries the event-core counters, and a builder-built
+  // tree run stays entirely on the typed (closure-free) lanes.
+  EXPECT_GT(m.event_core.typed_deliveries, 0u);
+  EXPECT_GT(m.event_core.typed_timers, 0u);
+  EXPECT_EQ(m.event_core.closure_events, 0u);
+  EXPECT_EQ(m.event_core.events_executed, d->sim().events_executed());
 }
 
 TEST(DeploymentBuilder, GeoDerivesSizeAndFaults) {

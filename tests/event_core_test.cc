@@ -1,0 +1,256 @@
+// Tests for the slab-backed event core: exact pending() accounting under
+// Cancel/Step/RunUntil interleavings, generation-checked cancellation
+// across slot reuse, typed delivery/timer lanes, and the determinism
+// invariant that same-instant events run in scheduling order regardless of
+// event kind.
+#include <gtest/gtest.h>
+
+#include "src/net/fault_model.h"
+#include "src/net/latency_model.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace optilog {
+namespace {
+
+struct NullMsg : Message {
+  int type() const override { return 0; }
+  size_t WireSize() const override { return 16; }
+  std::string Name() const override { return "Null"; }
+};
+
+class TagRecorder : public TimerTarget {
+ public:
+  void OnTimer(uint64_t tag, SimTime at) override {
+    fired.emplace_back(tag, at);
+  }
+  std::vector<std::pair<uint64_t, SimTime>> fired;
+};
+
+class CountingActor : public Actor {
+ public:
+  void OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) override {
+    (void)from;
+    (void)msg;
+    (void)at;
+    ++deliveries;
+  }
+  int deliveries = 0;
+};
+
+// --- pending() accounting (regression for the tombstone-window bug) ----------
+
+TEST(EventSlab, PendingExactUnderCancelStepRunUntilInterleaving) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(sim.ScheduleAt(10 * (i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.pending(), 8u);
+
+  // Cancel two events whose queue keys are still buried in the heap. The
+  // old design counted these via a tombstone set subtracted from the queue
+  // size, which went stale once a cancelled key was popped.
+  sim.Cancel(ids[2]);
+  sim.Cancel(ids[5]);
+  EXPECT_EQ(sim.pending(), 6u);
+
+  ASSERT_TRUE(sim.Step());  // runs ids[0]
+  EXPECT_EQ(sim.pending(), 5u);
+
+  // RunUntil past the cancelled ids[2] key: popping the stale key must not
+  // change the live count twice.
+  sim.RunUntil(40);  // runs ids[1], ids[3]
+  EXPECT_EQ(sim.pending(), 3u);
+
+  // Cancel between a pop window and the next run; then interleave again.
+  sim.Cancel(ids[6]);
+  EXPECT_EQ(sim.pending(), 2u);
+  ASSERT_TRUE(sim.Step());  // runs ids[4]
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunUntil(200);  // skips ids[5], ids[6] keys; runs ids[7]
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 5u);
+
+  // Cancelling everything that already ran or was cancelled is a no-op.
+  for (EventId id : ids) {
+    sim.Cancel(id);
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(EventSlab, PendingCountsEventsScheduledDuringExecution) {
+  Simulator sim;
+  sim.ScheduleAt(10, [&] {
+    sim.ScheduleAfter(5, [] {});
+    sim.ScheduleAfter(6, [] {});
+  });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Step();
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.RunAll();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+// --- generation checks across slot reuse -------------------------------------
+
+TEST(EventSlab, StaleCancelDoesNotKillRecycledSlot) {
+  Simulator sim;
+  bool first = false, second = false;
+  const EventId a = sim.ScheduleAt(10, [&] { first = true; });
+  sim.Cancel(a);
+  // The slab reuses a's slot for b under a new generation.
+  const EventId b = sim.ScheduleAt(20, [&] { second = true; });
+  EXPECT_NE(a, b);
+  sim.Cancel(a);  // stale handle: must be a no-op
+  sim.RunAll();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(EventSlab, CancelAfterExecutionDoesNotKillRecycledSlot) {
+  Simulator sim;
+  int runs = 0;
+  const EventId a = sim.ScheduleAt(10, [&] { ++runs; });
+  sim.RunUntil(15);
+  EXPECT_EQ(runs, 1);
+  const EventId b = sim.ScheduleAt(20, [&] { ++runs; });
+  sim.Cancel(a);  // a already ran; its slot now hosts b
+  sim.RunAll();
+  EXPECT_EQ(runs, 2);
+  (void)b;
+}
+
+TEST(EventSlab, SlabReusesSlotsInsteadOfGrowing) {
+  Simulator sim;
+  // A ping-pong chain of depth 1 keeps at most two events live; the slab
+  // must stay tiny no matter how many events pass through.
+  for (int i = 0; i < 1000; ++i) {
+    sim.ScheduleAfter(i + 1, [] {});
+    sim.RunFor(i + 1);
+  }
+  EXPECT_EQ(sim.events_executed(), 1000u);
+  EXPECT_LE(sim.event_core_stats().peak_slab_slots, 4u);
+  EXPECT_LE(sim.event_core_stats().peak_pending, 4u);
+}
+
+// --- typed lanes -------------------------------------------------------------
+
+TEST(EventSlab, TypedTimerCarriesTagAndFireTime) {
+  Simulator sim;
+  TagRecorder target;
+  sim.ScheduleTimer(&target, 7, 100);
+  sim.ScheduleTimerAt(50, &target, 9);
+  sim.RunAll();
+  ASSERT_EQ(target.fired.size(), 2u);
+  EXPECT_EQ(target.fired[0], (std::pair<uint64_t, SimTime>{9, 50}));
+  EXPECT_EQ(target.fired[1], (std::pair<uint64_t, SimTime>{7, 100}));
+  EXPECT_EQ(sim.event_core_stats().typed_timers, 2u);
+  EXPECT_EQ(sim.event_core_stats().closure_events, 0u);
+}
+
+TEST(EventSlab, CancelledTimerDoesNotFire) {
+  Simulator sim;
+  TagRecorder target;
+  const EventId id = sim.ScheduleTimer(&target, 1, 10);
+  sim.ScheduleTimer(&target, 2, 20);
+  sim.Cancel(id);
+  sim.RunAll();
+  ASSERT_EQ(target.fired.size(), 1u);
+  EXPECT_EQ(target.fired[0].first, 2u);
+  EXPECT_EQ(sim.event_core_stats().cancellations, 1u);
+}
+
+TEST(EventSlab, MixedKindTiesRunInScheduleOrder) {
+  Simulator sim;
+  MatrixLatencyModel latency(2, /*one_way=*/50);
+  FaultModel faults;
+  Network net(&sim, &latency, &faults);
+
+  std::vector<int> order;
+  class OrderActor : public Actor {
+   public:
+    explicit OrderActor(std::vector<int>* order) : order_(order) {}
+    void OnMessage(ReplicaId, const MessagePtr&, SimTime) override {
+      order_->push_back(2);
+    }
+
+   private:
+    std::vector<int>* order_;
+  };
+  class OrderTimer : public TimerTarget {
+   public:
+    explicit OrderTimer(std::vector<int>* order) : order_(order) {}
+    void OnTimer(uint64_t, SimTime) override { order_->push_back(3); }
+
+   private:
+    std::vector<int>* order_;
+  };
+  OrderActor actor(&order);
+  OrderTimer timer(&order);
+  net.Register(1, &actor);
+
+  // All three land at t = 50: closure scheduled first, then the delivery,
+  // then the timer. Scheduling order must win regardless of kind.
+  sim.ScheduleAt(50, [&] { order.push_back(1); });
+  net.Send(0, 1, std::make_shared<NullMsg>());  // one-way = 50
+  sim.ScheduleTimerAt(50, &timer, 0);
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventSlab, DeliveryPathSchedulesNoClosures) {
+  Simulator sim;
+  MatrixLatencyModel latency(4, kMsec);
+  FaultModel faults;
+  Network net(&sim, &latency, &faults);
+  CountingActor a1, a2, a3;
+  net.Register(1, &a1);
+  net.Register(2, &a2);
+  net.Register(3, &a3);
+
+  auto msg = std::make_shared<NullMsg>();
+  net.Multicast(0, {1, 2, 3}, msg);
+  net.Send(0, 1, msg);
+  sim.RunAll();
+
+  const EventCoreStats& stats = sim.event_core_stats();
+  EXPECT_EQ(stats.typed_deliveries, 4u);
+  EXPECT_EQ(stats.closure_events, 0u);
+  EXPECT_EQ(stats.allocations_avoided(), 4u);
+  EXPECT_EQ(stats.events_executed, 4u);
+  EXPECT_EQ(a1.deliveries, 2);
+  EXPECT_EQ(a2.deliveries, 1);
+  EXPECT_EQ(a3.deliveries, 1);
+}
+
+TEST(EventSlab, MulticastSharesOneMessageInstance) {
+  Simulator sim;
+  MatrixLatencyModel latency(4, kMsec);
+  FaultModel faults;
+  Network net(&sim, &latency, &faults);
+
+  class PointerRecorder : public Actor {
+   public:
+    void OnMessage(ReplicaId, const MessagePtr& msg, SimTime) override {
+      seen.push_back(msg.get());
+    }
+    std::vector<const Message*> seen;
+  };
+  PointerRecorder r1, r2, r3;
+  net.Register(1, &r1);
+  net.Register(2, &r2);
+  net.Register(3, &r3);
+
+  auto msg = std::make_shared<NullMsg>();
+  const Message* raw = msg.get();
+  net.Multicast(0, {1, 2, 3}, std::move(msg));
+  sim.RunAll();
+  ASSERT_EQ(r1.seen.size(), 1u);
+  EXPECT_EQ(r1.seen[0], raw);
+  EXPECT_EQ(r2.seen[0], raw);
+  EXPECT_EQ(r3.seen[0], raw);
+}
+
+}  // namespace
+}  // namespace optilog

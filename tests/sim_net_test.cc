@@ -289,6 +289,37 @@ TEST(Network, ProposalDelayAttack) {
   EXPECT_EQ(r.deliveries[1].second, 510 * kMsec);
 }
 
+TEST(Network, SendSelfHonorsCrashBetweenScheduleAndDelivery) {
+  Simulator sim;
+  MatrixLatencyModel latency(2, kMsec);
+  FaultModel faults;
+  Network net(&sim, &latency, &faults);
+  Recorder r;
+  net.Register(1, &r);
+  // At t = 10: the loopback is scheduled first, then a same-instant event
+  // crashes the replica before the zero-delay delivery runs. Loopback must
+  // drop the message exactly like Send's receiver-side check.
+  sim.ScheduleAt(10, [&] { net.SendSelf(1, std::make_shared<TestMsg>()); });
+  sim.ScheduleAt(10, [&] { faults.Mutable(1).crash_at = 10; });
+  sim.RunAll();
+  EXPECT_TRUE(r.deliveries.empty());
+}
+
+TEST(Network, SendSelfDeliversAtSameInstant) {
+  Simulator sim;
+  MatrixLatencyModel latency(2, kMsec);
+  FaultModel faults;
+  Network net(&sim, &latency, &faults);
+  Recorder r;
+  net.Register(1, &r);
+  sim.RunUntil(25);
+  net.SendSelf(1, std::make_shared<TestMsg>());
+  sim.RunAll();
+  ASSERT_EQ(r.deliveries.size(), 1u);
+  EXPECT_EQ(r.deliveries[0].first, 1u);
+  EXPECT_EQ(r.deliveries[0].second, 25);
+}
+
 TEST(Network, BandwidthSerializesMulticast) {
   Simulator sim;
   MatrixLatencyModel latency(4, 10 * kMsec);
@@ -308,6 +339,103 @@ TEST(Network, BandwidthSerializesMulticast) {
   EXPECT_EQ(r1.deliveries[0].second, 20 * kMsec);
   EXPECT_EQ(r2.deliveries[0].second, 30 * kMsec);
   EXPECT_EQ(r3.deliveries[0].second, 40 * kMsec);
+}
+
+// A dissemination hop: forwards every received message to its children,
+// recording arrival times — the network-level skeleton of a proposal
+// flowing down a tree.
+class ForwardingActor : public Actor {
+ public:
+  ForwardingActor(Network* net, ReplicaId id, std::vector<ReplicaId> children)
+      : net_(net), id_(id), children_(std::move(children)) {}
+
+  void OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) override {
+    (void)from;
+    arrivals.push_back(at);
+    if (!children_.empty()) {
+      net_->Multicast(id_, children_, msg);
+    }
+  }
+
+  std::vector<SimTime> arrivals;
+
+ private:
+  Network* net_;
+  const ReplicaId id_;
+  std::vector<ReplicaId> children_;
+};
+
+// The Kauri §6.1.1 claim cited in network.h: under per-replica bandwidth, a
+// star leader serializes k copies back to back (k * WireSize / bps on its
+// single uplink), while a tree interior node serializes only its fanout —
+// interior uplinks work in parallel, so the last replica hears the proposal
+// sooner even though the tree adds propagation hops.
+TEST(Network, BandwidthStarLeaderSerializesKCopiesTreeOnlyFanout) {
+  constexpr SimTime kProp = 10 * kMsec;       // uniform one-way propagation
+  constexpr SimTime kSerialize = 10 * kMsec;  // per-copy serialization
+  // 8 Mbit/s uplinks and 10'000-byte messages give 10 ms per copy.
+  auto msg = [] {
+    auto m = std::make_shared<TestMsg>();
+    m->bytes = 10'000;
+    return m;
+  };
+
+  // Star: leader 0 fans out to 6 followers on one uplink.
+  {
+    Simulator sim;
+    MatrixLatencyModel latency(7, kProp);
+    FaultModel faults;
+    Network net(&sim, &latency, &faults);
+    net.SetBandwidthBps(8'000'000);
+    std::vector<std::unique_ptr<ForwardingActor>> leaves;
+    std::vector<ReplicaId> all;
+    for (ReplicaId id = 1; id < 7; ++id) {
+      leaves.push_back(std::make_unique<ForwardingActor>(&net, id,
+                                                         std::vector<ReplicaId>{}));
+      net.Register(id, leaves.back().get());
+      all.push_back(id);
+    }
+    net.Multicast(0, all, msg());
+    sim.RunAll();
+    // Copy i leaves the leader's NIC at (i + 1) * S; k = 6 copies occupy the
+    // uplink for k * WireSize / bps = 60 ms total.
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      ASSERT_EQ(leaves[i]->arrivals.size(), 1u);
+      EXPECT_EQ(leaves[i]->arrivals[0],
+                static_cast<SimTime>(i + 1) * kSerialize + kProp);
+    }
+  }
+
+  // Tree over the same 7 replicas: 0 -> {1, 2}, 1 -> {3, 4}, 2 -> {5, 6}.
+  {
+    Simulator sim;
+    MatrixLatencyModel latency(7, kProp);
+    FaultModel faults;
+    Network net(&sim, &latency, &faults);
+    net.SetBandwidthBps(8'000'000);
+    ForwardingActor n1(&net, 1, {3, 4}), n2(&net, 2, {5, 6});
+    ForwardingActor n3(&net, 3, {}), n4(&net, 4, {}), n5(&net, 5, {});
+    ForwardingActor n6(&net, 6, {});
+    net.Register(1, &n1);
+    net.Register(2, &n2);
+    net.Register(3, &n3);
+    net.Register(4, &n4);
+    net.Register(5, &n5);
+    net.Register(6, &n6);
+    net.Multicast(0, {1, 2}, msg());
+    sim.RunAll();
+    // The root's uplink is busy for only fanout * S = 20 ms.
+    EXPECT_EQ(n1.arrivals[0], 1 * kSerialize + kProp);  // 20 ms
+    EXPECT_EQ(n2.arrivals[0], 2 * kSerialize + kProp);  // 30 ms
+    // Interiors serialize their own fanout in parallel on separate uplinks.
+    EXPECT_EQ(n3.arrivals[0], n1.arrivals[0] + 1 * kSerialize + kProp);  // 40
+    EXPECT_EQ(n4.arrivals[0], n1.arrivals[0] + 2 * kSerialize + kProp);  // 50
+    EXPECT_EQ(n5.arrivals[0], n2.arrivals[0] + 1 * kSerialize + kProp);  // 50
+    EXPECT_EQ(n6.arrivals[0], n2.arrivals[0] + 2 * kSerialize + kProp);  // 60
+    // Last tree replica (60 ms) still beats the star's last (70 ms): the
+    // root bottleneck, not propagation, dominates.
+    EXPECT_LT(n6.arrivals[0], 6 * kSerialize + kProp);
+  }
 }
 
 TEST(Network, StatsCountMessagesAndBytes) {
