@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -14,6 +15,9 @@
 #include "src/core/annealing.h"
 #include "src/core/latency_monitor.h"
 #include "src/net/geo.h"
+// JSON emission for BENCH_<scenario>.json files (JsonWriter): shared with
+// the scenario runner, so it lives under src/util and is re-exported here.
+#include "src/util/json_writer.h"
 
 namespace optilog {
 
@@ -60,15 +64,38 @@ class BenchReporter {
     rows_.push_back(std::move(cells));
   }
 
-  // Numeric cell formatting. Fixed-point with `precision` decimals.
+  // Numeric cell formatting. Fixed-point with `precision` decimals, via
+  // to_chars: locale-independent, because these cells end up in digested
+  // scenario rows (src/runner/scenario.h) where "331,4" under a
+  // comma-decimal locale would silently break the determinism contract.
   static std::string Num(double v, int precision = 1) {
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-    return buf;
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                   std::chars_format::fixed, precision);
+    return std::string(buf, res.ptr);
   }
   static std::string Num(uint64_t v) { return std::to_string(v); }
 
-  void Print() const {
+  // RFC 4180 quoting: cells containing the delimiter, a quote, or a line
+  // break are wrapped in double quotes with embedded quotes doubled — so a
+  // city name like "Washington, DC" can't shift the columns of a csv, row.
+  static std::string CsvEscape(const std::string& cell) {
+    if (cell.find_first_of(",\"\r\n") == std::string::npos) {
+      return cell;
+    }
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') {
+        out.push_back('"');
+      }
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  // The aligned human-readable table.
+  std::string ToTable() const {
     std::vector<size_t> width(columns_.size());
     for (size_t c = 0; c < columns_.size(); ++c) {
       width[c] = columns_[c].size();
@@ -78,29 +105,43 @@ class BenchReporter {
         }
       }
     }
-    auto print_row = [&](const std::vector<std::string>& cells) {
+    std::string out;
+    auto append_row = [&](const std::vector<std::string>& cells) {
       for (size_t c = 0; c < columns_.size(); ++c) {
-        std::printf("%-*s  ", static_cast<int>(width[c]),
-                    c < cells.size() ? cells[c].c_str() : "");
+        const std::string& cell = c < cells.size() ? cells[c] : std::string();
+        out += cell;
+        out.append(width[c] - cell.size() + 2, ' ');
       }
-      std::printf("\n");
+      out += "\n";
     };
-    print_row(columns_);
+    append_row(columns_);
     for (const auto& row : rows_) {
-      print_row(row);
+      append_row(row);
     }
-    std::printf("\n");
-    auto csv_row = [&](const std::vector<std::string>& cells) {
-      std::printf("csv,%s", name_.c_str());
+    return out;
+  }
+
+  // The same rows as `csv,<name>,...` lines, grep-able out of mixed output.
+  std::string ToCsv() const {
+    std::string out;
+    auto append_row = [&](const std::vector<std::string>& cells) {
+      out += "csv," + CsvEscape(name_);
       for (const auto& cell : cells) {
-        std::printf(",%s", cell.c_str());
+        out += "," + CsvEscape(cell);
       }
-      std::printf("\n");
+      out += "\n";
     };
-    csv_row(columns_);
+    append_row(columns_);
     for (const auto& row : rows_) {
-      csv_row(row);
+      append_row(row);
     }
+    return out;
+  }
+
+  void Print() const {
+    std::fputs(ToTable().c_str(), stdout);
+    std::printf("\n");
+    std::fputs(ToCsv().c_str(), stdout);
   }
 
  private:

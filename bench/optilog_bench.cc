@@ -1,0 +1,231 @@
+// optilog_bench: the one bench CLI. Every figure reproduction and workload
+// is a registered Scenario (bench/scenarios/); this binary lists them,
+// filters by name or tag, runs any subset — sweeping grid points across a
+// work-stealing thread pool — and emits BENCH_<scenario>.json files that
+// tools/compare_bench.py can gate CI on.
+//
+//   optilog_bench --list
+//   optilog_bench fig09_baselines fig15_reconfig_timeline
+//   optilog_bench --tag tier1 --threads 8 --json out/
+//
+// Determinism contract: identical seeds produce byte-identical JSON
+// (everything but the advisory wall_ms) at any --threads value.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/runner/runner.h"
+#include "src/runner/scenario.h"
+
+namespace optilog {
+namespace {
+
+int Usage(FILE* out) {
+  std::fprintf(
+      out,
+      "usage: optilog_bench [options] [scenario...]\n"
+      "\n"
+      "Runs registered benchmark scenarios (paper figures and workloads).\n"
+      "Select scenarios by name, by --tag, or all of them with --all.\n"
+      "\n"
+      "options:\n"
+      "  --list          list scenarios (name, tags, grid points, summary)\n"
+      "  --tag TAG       run every scenario carrying TAG (repeatable)\n"
+      "  --all           run every registered scenario\n"
+      "  --threads N     worker threads for grid sweeps (default: hardware\n"
+      "                  concurrency; results are identical at any N)\n"
+      "  --json DIR      write BENCH_<scenario>.json files into DIR\n"
+      "  --quiet         suppress per-row tables (summaries still print)\n"
+      "  --help          this text\n"
+      "\n"
+      "exit status: 0 on success, 1 on scenario failure, 2 on bad usage\n"
+      "(unknown scenario or tag names are bad usage, so CI failures are\n"
+      "legible).\n");
+  return out == stderr ? 2 : 0;
+}
+
+void ListScenarios() {
+  BenchReporter report("scenarios",
+                       {"name", "tags", "points", "description"});
+  for (const Scenario* s : ScenarioRegistry::Instance().All()) {
+    std::string tags;
+    for (const auto& t : s->tags) {
+      tags += (tags.empty() ? "" : ",") + t;
+    }
+    report.AddRow({s->name, tags,
+                   std::to_string(EnumeratePoints(*s).size()),
+                   s->description});
+  }
+  std::fputs(report.ToTable().c_str(), stdout);
+}
+
+void PrintResult(const ScenarioRunResult& r, bool quiet) {
+  PrintHeader(r.scenario.c_str());
+  if (!quiet) {
+    BenchReporter rows(r.scenario, r.columns);
+    for (const PointResult& p : r.points) {
+      for (const auto& row : p.rows) {
+        rows.AddRow(row);
+      }
+    }
+    rows.Print();
+  }
+  if (!r.summary.rows.empty()) {
+    std::printf("summary:\n");
+    BenchReporter summary(r.scenario + ".summary", r.summary.columns);
+    for (const auto& row : r.summary.rows) {
+      summary.AddRow(row);
+    }
+    summary.Print();
+  }
+  std::printf("digest %s  wall %.1f ms\n", r.digest.c_str(), r.wall_ms);
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> names;
+  std::vector<std::string> tags;
+  bool list = false, all = false, quiet = false;
+  unsigned threads = std::thread::hardware_concurrency();
+  std::string json_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "optilog_bench: %s needs a value\n\n", flag);
+        std::exit(Usage(stderr));
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      return Usage(stdout);
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--tag") {
+      tags.push_back(value("--tag"));
+    } else if (arg == "--threads") {
+      const std::string v = value("--threads");
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v.c_str(), &end, 10);
+      // strtoul would happily wrap "-2"; demand plain digits and a sane cap.
+      if (v.empty() || !std::isdigit(static_cast<unsigned char>(v[0])) ||
+          *end != '\0' || parsed < 1 || parsed > 1024) {
+        std::fprintf(stderr, "optilog_bench: --threads wants a number in "
+                             "1..1024, got '%s'\n\n", v.c_str());
+        return Usage(stderr);
+      }
+      threads = static_cast<unsigned>(parsed);
+    } else if (arg == "--json") {
+      json_dir = value("--json");
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "optilog_bench: unknown option '%s'\n\n",
+                   arg.c_str());
+      return Usage(stderr);
+    } else {
+      names.push_back(arg);
+    }
+  }
+
+  const ScenarioRegistry& registry = ScenarioRegistry::Instance();
+  if (list) {
+    ListScenarios();
+    return 0;
+  }
+
+  // Resolve the selection: names + tags, de-duplicated, registry order.
+  std::vector<const Scenario*> selected;
+  auto add = [&selected](const Scenario* s) {
+    for (const Scenario* have : selected) {
+      if (have == s) {
+        return;
+      }
+    }
+    selected.push_back(s);
+  };
+  for (const std::string& name : names) {
+    const Scenario* s = registry.Find(name);
+    if (s == nullptr) {
+      std::fprintf(stderr, "optilog_bench: unknown scenario '%s'\n",
+                   name.c_str());
+      std::fprintf(stderr, "available scenarios:\n");
+      for (const Scenario* have : registry.All()) {
+        std::fprintf(stderr, "  %s\n", have->name.c_str());
+      }
+      return 2;
+    }
+    add(s);
+  }
+  for (const std::string& tag : tags) {
+    const auto tagged = registry.WithTag(tag);
+    if (tagged.empty()) {
+      std::fprintf(stderr, "optilog_bench: no scenario carries tag '%s'\n",
+                   tag.c_str());
+      return 2;
+    }
+    for (const Scenario* s : tagged) {
+      add(s);
+    }
+  }
+  if (all) {
+    for (const Scenario* s : registry.All()) {
+      add(s);
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr,
+                 "optilog_bench: nothing selected (try --list, --all, "
+                 "--tag tier1, or scenario names)\n\n");
+    return Usage(stderr);
+  }
+
+  if (!json_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(json_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "optilog_bench: cannot create '%s': %s\n",
+                   json_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+
+  // One pool shared across scenarios; each sweep fans its grid points out.
+  ThreadPool pool(threads == 0 ? 1 : threads);
+  RunOptions opts;
+  opts.pool = &pool;
+  std::printf("running %zu scenario(s) on %u thread(s)\n", selected.size(),
+              pool.threads());
+  for (const Scenario* s : selected) {
+    const ScenarioRunResult result = RunScenario(*s, opts);
+    PrintResult(result, quiet);
+    if (!json_dir.empty()) {
+      const std::string path =
+          (std::filesystem::path(json_dir) / ("BENCH_" + s->name + ".json"))
+              .string();
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "optilog_bench: cannot write '%s'\n",
+                     path.c_str());
+        return 1;
+      }
+      out << FullJson(result);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace optilog
+
+int main(int argc, char** argv) { return optilog::Main(argc, argv); }

@@ -1,0 +1,26 @@
+// Shared glue for scenario registrations: the one step every
+// deployment-driving grid point takes to turn a MetricsReport into the
+// deterministic part of a PointResult.
+#pragma once
+
+#include "bench/bench_util.h"
+#include "src/runner/scenario.h"
+
+namespace optilog {
+
+// Copies the deterministic outcome of a run into the point: event-core
+// counters plus the determinism pin (log-head digest when the deployment has
+// a measurement bus, folded into the metrics fingerprint either way).
+inline void FillOutcome(PointResult& pr, const MetricsReport& m) {
+  pr.event_core = m.event_core;
+  pr.event_core.wall_seconds = 0.0;  // advisory; never reaches the JSON
+  pr.digest = MetricsFingerprint(m);
+}
+
+// Fixed-point cell formatting for human-readable rows (NOT for metrics —
+// those carry the raw double through FormatDouble/to_chars).
+inline std::string Fixed(double v, int precision) {
+  return BenchReporter::Num(v, precision);
+}
+
+}  // namespace optilog

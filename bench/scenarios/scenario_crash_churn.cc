@@ -1,0 +1,71 @@
+// Crash churn: a workload the paper doesn't plot, added as the proof that a
+// new scenario is a ~30-line registration (ISSUE 3). Every `period_s`
+// seconds another random replica of an OptiTree deployment crashes — root
+// or not — and the OptiLog loop (suspicions -> monitors -> SA over
+// survivors) has to keep committing. Rows pin the throughput trajectory and
+// the recovery accounting; the point digest pins the measurement bus.
+#include "bench/scenarios/common.h"
+#include "src/api/deployment.h"
+
+namespace optilog {
+namespace {
+
+constexpr SimTime kRunTime = 45 * kSec;
+constexpr uint32_t kCrashes = 4;
+
+PointResult RunPoint(const Params& p) {
+  const SimTime period = p.GetInt("period_s") * kSec;
+  const uint64_t seed = static_cast<uint64_t>(p.GetInt("seed"));
+  TreeRsmOptions opts;
+  opts.pipeline_depth = 3;
+  auto deployment = Deployment::Builder()
+                        .WithGeo(Europe21())
+                        .WithProtocol(Protocol::kOptiTree)
+                        .WithSeed(seed)
+                        .WithInitialSearch(ParamsForSearchSeconds(1.0))
+                        .WithTreeOptions(opts)
+                        .WithOptiLogReconfig(/*search_window=*/1 * kSec)
+                        .Build();
+  Deployment& d = *deployment;
+  Rng rng(seed * 7 + 1);
+  for (uint32_t c = 1; c <= kCrashes; ++c) {
+    const ReplicaId victim = static_cast<ReplicaId>(rng.Below(d.n()));
+    d.sim().ScheduleAt(c * period, [&d, victim] {
+      d.faults().Mutable(victim).crash_at = d.sim().now();
+    });
+  }
+  d.Start();
+  d.RunUntil(kRunTime);
+
+  const MetricsReport m = d.Metrics();
+  PointResult pr;
+  pr.rows.push_back(
+      {p.Get("period_s"), p.Get("seed"), std::to_string(m.committed),
+       std::to_string(m.reconfigurations), std::to_string(m.failed_rounds),
+       std::to_string(m.suspicions), Fixed(m.mean_latency_ms, 1)});
+  pr.metrics = {{"committed", static_cast<double>(m.committed)},
+                {"reconfigurations", static_cast<double>(m.reconfigurations)},
+                {"failed_rounds", static_cast<double>(m.failed_rounds)},
+                {"mean_latency_ms", m.mean_latency_ms}};
+  FillOutcome(pr, m);
+  return pr;
+}
+
+Scenario Make() {
+  Scenario s;
+  s.name = "crash_churn";
+  s.description =
+      "OptiTree under periodic random replica crashes (Europe21, OptiLog "
+      "loop): commits, reconfigurations, failed rounds";
+  s.tags = {"churn", "sweep", "tier1"};
+  s.columns = {"period_s", "seed",         "committed", "reconfigs",
+               "failed",   "suspicions", "latency_ms"};
+  s.grid = {{"period_s", {"6", "10"}}, {"seed", {"3", "4"}}};
+  s.run = RunPoint;
+  return s;
+}
+
+const ScenarioRegistrar reg(Make());
+
+}  // namespace
+}  // namespace optilog

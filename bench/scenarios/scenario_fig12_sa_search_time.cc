@@ -1,0 +1,60 @@
+// Fig. 12: tree latency improves with longer simulated-annealing search
+// time, for n = 57..211 replicas.
+//
+// Paper shape: small trees stop improving past ~1 s of search; at n = 211 a
+// 4 s search beats a 250 ms search by ~35%, and variance shrinks with
+// longer searches.
+#include "bench/scenarios/common.h"
+#include "src/tree/kauri.h"
+#include "src/tree/tree_score.h"
+#include "src/util/stats.h"
+
+namespace optilog {
+namespace {
+
+constexpr int kRuns = 20;  // paper: 1000; shrunk for bench runtime
+
+PointResult RunPoint(const Params& p) {
+  const uint32_t n = static_cast<uint32_t>(p.GetInt("n"));
+  const double seconds = p.GetDouble("search_s");
+
+  const LatencyMatrix matrix = MatrixFromCities(GlobalN(n, 424242));
+  const uint32_t f = (n - 1) / 3;
+  const uint32_t k = n - f;  // q votes
+  std::vector<ReplicaId> all(n);
+  for (ReplicaId id = 0; id < n; ++id) {
+    all[id] = id;
+  }
+  const AnnealingParams params = ParamsForSearchSeconds(seconds);
+  RunningStat stat;
+  for (int run = 0; run < kRuns; ++run) {
+    Rng rng(n * 100003 + run);
+    const TreeTopology tree = AnnealTree(n, all, matrix, k, rng, params);
+    stat.Add(TreeScore(tree, matrix, k) / 1000.0);
+  }
+
+  PointResult pr;
+  pr.rows.push_back({std::to_string(n), p.Get("search_s"),
+                     Fixed(stat.mean(), 3), Fixed(stat.ci95(), 3)});
+  pr.metrics = {{"latency_s_mean", stat.mean()},
+                {"latency_s_ci95", stat.ci95()}};
+  return pr;
+}
+
+Scenario Make() {
+  Scenario s;
+  s.name = "fig12_sa_search_time";
+  s.description =
+      "Tree latency vs SA search budget for n = 57..211 (20 runs per cell)";
+  s.tags = {"figure", "sweep"};
+  s.columns = {"n", "search_s", "latency_s_mean", "latency_s_ci95"};
+  s.grid = {{"n", {"57", "91", "111", "157", "183", "211"}},
+            {"search_s", {"0.25", "0.5", "1", "2", "4"}}};
+  s.run = RunPoint;
+  return s;
+}
+
+const ScenarioRegistrar reg(Make());
+
+}  // namespace
+}  // namespace optilog

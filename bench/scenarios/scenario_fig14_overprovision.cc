@@ -1,0 +1,62 @@
+// Fig. 14 (Appendix B.1): the cost of overprovisioning — tree latency
+// (score) when SA optimizes for k = q + u votes as u grows from 5% to 30%
+// of the tree size.
+//
+// Paper shape: latency rises with u (more subtrees must answer); at n = 211
+// the increase reaches ~50% when u is 30% of the tree.
+#include "bench/scenarios/common.h"
+#include "src/tree/kauri.h"
+#include "src/tree/tree_score.h"
+#include "src/util/stats.h"
+
+namespace optilog {
+namespace {
+
+constexpr int kRuns = 10;
+
+PointResult RunPoint(const Params& p) {
+  const uint32_t n = static_cast<uint32_t>(p.GetInt("n"));
+  const uint32_t u_pct = static_cast<uint32_t>(p.GetInt("u_pct"));
+
+  const LatencyMatrix matrix = MatrixFromCities(GlobalN(n, 515151));
+  const uint32_t f = (n - 1) / 3;
+  const uint32_t q = n - f;
+  const uint32_t u = u_pct * n / 100;
+  std::vector<ReplicaId> all(n);
+  for (ReplicaId id = 0; id < n; ++id) {
+    all[id] = id;
+  }
+  const AnnealingParams params = ParamsForSearchSeconds(1.0);
+  RunningStat stat;
+  for (int run = 0; run < kRuns; ++run) {
+    Rng rng(n * 7919 + run);
+    const TreeTopology tree = AnnealTree(n, all, matrix, q + u, rng, params);
+    stat.Add(TreeScore(tree, matrix, q + u) / 1000.0);
+  }
+
+  PointResult pr;
+  pr.rows.push_back({std::to_string(n), std::to_string(u_pct),
+                     Fixed(stat.mean(), 3), Fixed(stat.ci95(), 3)});
+  pr.metrics = {{"score_s_mean", stat.mean()},
+                {"score_s_ci95", stat.ci95()}};
+  return pr;
+}
+
+Scenario Make() {
+  Scenario s;
+  s.name = "fig14_overprovision";
+  s.description =
+      "Tree latency vs tolerated faulty leaves u (5..30% of n) — the cost "
+      "of overprovisioning the vote budget";
+  s.tags = {"figure", "sweep"};
+  s.columns = {"n", "u_pct", "score_s_mean", "score_s_ci95"};
+  s.grid = {{"n", {"21", "43", "91", "111", "157", "211"}},
+            {"u_pct", {"5", "10", "15", "20", "25", "30"}}};
+  s.run = RunPoint;
+  return s;
+}
+
+const ScenarioRegistrar reg(Make());
+
+}  // namespace
+}  // namespace optilog

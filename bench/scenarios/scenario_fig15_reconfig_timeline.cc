@@ -7,10 +7,9 @@
 //
 // The OptiLog loop — suspicions committed to the measurement bus, monitors
 // recomputing the candidate set, SA over the survivors, a one-second search
-// pause — is the deployment's WithOptiLogReconfig wiring.
-#include <cstdio>
-
-#include "bench/bench_util.h"
+// pause — is the deployment's WithOptiLogReconfig wiring; the point digest
+// therefore pins the measurement bus's log head.
+#include "bench/scenarios/common.h"
 #include "src/api/deployment.h"
 
 namespace optilog {
@@ -19,7 +18,7 @@ namespace {
 constexpr uint32_t kF = 6;
 constexpr SimTime kRunTime = 90 * kSec;
 
-void RunBench() {
+PointResult RunPoint(const Params&) {
   TreeRsmOptions opts;
   opts.pipeline_depth = 3;
   auto deployment = Deployment::Builder()
@@ -44,26 +43,35 @@ void RunBench() {
   d.RunUntil(kRunTime);
 
   const MetricsReport m = d.Metrics();
-  PrintHeader("Fig. 15: reconfiguration timeline (root fails every 10 s)");
-  std::printf("%-10s %-12s\n", "time [s]", "ops/s");
+  PointResult pr;
   for (size_t sec = 0; sec < kRunTime / kSec; ++sec) {
     const uint64_t ops =
         sec < m.throughput_per_sec.size() ? m.throughput_per_sec[sec] : 0;
-    std::printf("%-10zu %-12llu\n", sec, static_cast<unsigned long long>(ops));
+    pr.rows.push_back({std::to_string(sec), std::to_string(ops)});
   }
-  std::printf("\nReconfigurations: %llu, failed rounds: %llu, suspicions "
-              "logged: %llu\n",
-              static_cast<unsigned long long>(m.reconfigurations),
-              static_cast<unsigned long long>(m.failed_rounds),
-              static_cast<unsigned long long>(m.suspicions));
-  std::printf("Shape check: throughput dips to ~0 at each failure and "
-              "recovers within ~1-2 s (timeout + SA search).\n");
+  pr.metrics = {
+      {"reconfigurations", static_cast<double>(m.reconfigurations)},
+      {"failed_rounds", static_cast<double>(m.failed_rounds)},
+      {"suspicions", static_cast<double>(m.suspicions)},
+      {"mean_latency_ms", m.mean_latency_ms},
+  };
+  FillOutcome(pr, m);
+  return pr;
 }
+
+Scenario Make() {
+  Scenario s;
+  s.name = "fig15_reconfig_timeline";
+  s.description =
+      "Reconfiguration timeline under repeated root crashes (Europe21, "
+      "OptiLog loop, 1 s SA window)";
+  s.tags = {"figure", "tier1"};
+  s.columns = {"time_s", "ops"};
+  s.run = RunPoint;
+  return s;
+}
+
+const ScenarioRegistrar reg(Make());
 
 }  // namespace
 }  // namespace optilog
-
-int main() {
-  optilog::RunBench();
-  return 0;
-}

@@ -27,6 +27,14 @@ PbftHarness& Deployment::pbft() {
   return *pbft_;
 }
 
+MetricsReport Deployment::Metrics() {
+  MetricsReport m = engine().Metrics();
+  if (m.log_head_hex.empty() && pipeline_ != nullptr) {
+    m.log_head_hex = DigestHex(log_.head());
+  }
+  return m;
+}
+
 const Pipeline* Deployment::pipeline() const {
   if (pipeline_ != nullptr) {
     return pipeline_.get();

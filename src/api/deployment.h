@@ -86,7 +86,10 @@ class Deployment {
   void Start() { engine().Start(); }
   void RunFor(SimTime d) { sim_.RunFor(d); }
   void RunUntil(SimTime t) { sim_.RunUntil(t); }
-  MetricsReport Metrics() { return engine().Metrics(); }
+  // The engine's metrics, with log_head_hex filled from the deployment's
+  // measurement bus when the engine doesn't own one (tree protocols under
+  // WithOptiLogReconfig commit through the deployment log).
+  MetricsReport Metrics();
 
  private:
   friend class Builder;
@@ -166,6 +169,18 @@ class Deployment::Builder {
   // monitors update C/G/K/u, proposals pause for `search_window`, and SA
   // picks the next tree over the surviving candidates.
   Builder& WithOptiLogReconfig(SimTime search_window = 1 * kSec);
+
+  // A value copy of the builder's configuration so far. Sweeps stamp out
+  // per-point deployments from one base recipe:
+  //
+  //   Builder base = Builder().WithGeo(Europe21()).WithProtocol(...);
+  //   auto d = base.Clone().WithSeed(point_seed).Build();
+  //
+  // Build() consumes nothing, so cloning is optional for serial use — its
+  // point is concurrent sweeps, where each grid point must own an
+  // independent builder (Build() reads the shared base from many threads
+  // only through this copy).
+  Builder Clone() const { return *this; }
 
   std::unique_ptr<Deployment> Build();
 

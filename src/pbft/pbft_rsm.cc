@@ -316,6 +316,7 @@ MetricsReport PbftHarness::Metrics() const {
     }
   }
   report.mean_latency_ms = latency.mean();
+  report.log_head_hex = DigestHex(log_.head());
   report.event_core = sim_->event_core_stats();
   return report;
 }

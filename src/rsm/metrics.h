@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/sim/event_core.h"
@@ -72,6 +73,10 @@ struct MetricsReport {
   std::vector<uint64_t> throughput_per_sec;  // commands per second of sim time
   std::vector<SimTime> reconfig_times;
   std::vector<SimTime> suspicion_times;
+  // SHA-256 chain head of the run's measurement bus, hex-encoded — the
+  // determinism evidence scenario sweeps pin (see src/runner/). Empty when
+  // the engine runs without a Log (tree protocols without OptiLogReconfig).
+  std::string log_head_hex;
   // Event-core counters for the run's simulator: how much of the event
   // traffic rode the typed (closure-free) lanes, and how fast the core
   // drained it in wall-clock terms.

@@ -1,0 +1,62 @@
+// Executes scenarios: enumerates the grid, runs points across the thread
+// pool (one Deployment per point), and assembles the result in grid order
+// so the JSON is byte-identical at any thread count.
+//
+// JSON layout of BENCH_<scenario>.json (see DESIGN.md, "Scenario runner"):
+//
+//   {
+//     "scenario": "fig09_baselines",
+//     "columns": ["geo", "protocol", "ops_per_sec", "latency_ms"],
+//     "points": [
+//       {"params": {"geo": "Europe21", ...},
+//        "rows": [["Europe21", "OptiTree", "812", "331.4"], ...],
+//        "metrics": {"ops_per_sec": 812.0, ...},
+//        "event_core": {"events_executed": 123, ...},
+//        "digest": "<hex>",
+//        "wall_ms": 87.2},                            // advisory, undigested
+//       ...
+//     ],
+//     "summary": {"columns": [...], "rows": [...]},   // only with finalize
+//     "digest": "<sha256 hex over the above minus wall_ms fields>",
+//     "wall_ms": 1234.5                               // advisory, undigested
+//   }
+//
+// Everything except wall_ms is deterministic; tools/compare_bench.py treats
+// wall_ms as advisory and gates on the rest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/runner/scenario.h"
+#include "src/runner/thread_pool.h"
+
+namespace optilog {
+
+struct RunOptions {
+  unsigned threads = 1;
+  // Optional externally owned pool (reused across scenarios); when null a
+  // pool with `threads` workers is created for the run.
+  ThreadPool* pool = nullptr;
+};
+
+struct ScenarioRunResult {
+  std::string scenario;
+  std::vector<std::string> columns;
+  std::vector<Params> params;        // grid order
+  std::vector<PointResult> points;   // parallel to `params`
+  SummaryTable summary;              // empty without a finalize hook
+  std::string digest;                // SHA-256 hex of the deterministic JSON
+  double wall_ms = 0.0;              // advisory
+};
+
+ScenarioRunResult RunScenario(const Scenario& s, const RunOptions& opts = {});
+
+// The digested portion: everything but wall_ms. Byte-identical across
+// thread counts for identical seeds — the determinism contract tests pin.
+std::string DeterministicJson(const ScenarioRunResult& r);
+
+// DeterministicJson plus the advisory wall_ms — the BENCH_<name>.json body.
+std::string FullJson(const ScenarioRunResult& r);
+
+}  // namespace optilog

@@ -1,0 +1,125 @@
+#include "src/runner/thread_pool.h"
+
+#include "src/util/check.h"
+
+namespace optilog {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads <= 1) {
+    return;  // inline mode
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+bool ThreadPool::NextTask(size_t self, Task* out) {
+  {
+    Worker& mine = *workers_[self];
+    std::lock_guard<std::mutex> lock(mine.mu);
+    if (!mine.queue.empty()) {
+      *out = std::move(mine.queue.front());
+      mine.queue.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the other deques, fixed victim order.
+  for (size_t off = 1; off < workers_.size(); ++off) {
+    Worker& victim = *workers_[(self + off) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.queue.empty()) {
+      *out = std::move(victim.queue.back());
+      victim.queue.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || batch_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = batch_;
+    }
+    Task task;
+    while (NextTask(self, &task)) {
+      std::exception_ptr err;
+      try {
+        (*task.fn)(task.idx);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !first_error_) {
+        first_error_ = err;
+      }
+      if (--remaining_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count, std::function<void(size_t)> fn) {
+  if (count == 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // Nested fan-out from inside a task would deadlock (the worker would wait
+  // on its own batch); abort legibly instead of hanging.
+  for (const std::thread& t : threads_) {
+    OL_CHECK_MSG(t.get_id() != std::this_thread::get_id(),
+                 "ParallelFor called from inside a pool task");
+  }
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  const BatchFn batch_fn =
+      std::make_shared<const std::function<void(size_t)>>(std::move(fn));
+  std::unique_lock<std::mutex> lock(mu_);
+  OL_CHECK(remaining_ == 0);
+  // The count is published before any task is visible, so a worker racing
+  // ahead of the notify can never underflow the remaining counter.
+  remaining_ = count;
+  first_error_ = nullptr;
+  for (size_t i = 0; i < count; ++i) {
+    Worker& w = *workers_[i % workers_.size()];
+    std::lock_guard<std::mutex> wlock(w.mu);
+    w.queue.push_back(Task{batch_fn, i});
+  }
+  ++batch_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace optilog

@@ -1,0 +1,81 @@
+// Work-stealing thread pool for scenario sweeps.
+//
+// Parallelism is across Deployments: each grid point of a sweep builds and
+// drives its own single-threaded Simulator, so points share no mutable
+// state and can run on any worker in any order. Tasks are indices into a
+// caller-owned vector and results are stored by index, which is why the
+// runner's output is byte-identical at any thread count — scheduling order
+// never leaks into the result (the determinism contract in DESIGN.md).
+//
+// Shape: one deque per worker, indices dealt round-robin at submit time;
+// a worker drains its own deque from the front and steals from the back of
+// the others once it runs dry. Each queued task carries a handle to its
+// batch's function, so a worker that races past a batch boundary still runs
+// the right code. Sweeps are small (tens to hundreds of tasks, each
+// milliseconds to seconds), so per-deque mutexes beat a lock-free design on
+// simplicity; ThreadSanitizer runs these paths in CI to keep them honest.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace optilog {
+
+class ThreadPool {
+ public:
+  // threads == 0 or 1 means no workers: ParallelFor runs inline on the
+  // calling thread (the --threads 1 reference execution).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threads() const {
+    return workers_.empty() ? 1 : static_cast<unsigned>(workers_.size());
+  }
+
+  // Runs fn(0) .. fn(count - 1), blocking until every call returns. fn must
+  // be safe to call concurrently for distinct indices. One batch at a time:
+  // concurrent ParallelFor calls serialize. If any call throws, the first
+  // exception (in completion order) is rethrown here after the batch
+  // drains.
+  void ParallelFor(size_t count, std::function<void(size_t)> fn);
+
+ private:
+  using BatchFn = std::shared_ptr<const std::function<void(size_t)>>;
+  struct Task {
+    BatchFn fn;
+    size_t idx;
+  };
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> queue;
+  };
+
+  void WorkerLoop(size_t self);
+  // Pops own work from the front, steals from the back of the others.
+  bool NextTask(size_t self, Task* out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::mutex submit_mu_;             // serializes ParallelFor callers
+  std::condition_variable work_cv_;  // workers: a new batch arrived
+  std::condition_variable done_cv_;  // caller: the batch drained
+  size_t remaining_ = 0;   // tasks not yet finished executing
+  uint64_t batch_ = 0;     // bumped per ParallelFor so sleepers re-scan
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace optilog

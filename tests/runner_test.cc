@@ -1,0 +1,302 @@
+// Scenario-runner subsystem: registry semantics, grid enumeration, JSON
+// emission, the work-stealing pool, and the determinism contract (identical
+// seeds -> byte-identical ScenarioResult JSON at any thread count).
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "src/api/deployment.h"
+#include "src/runner/runner.h"
+#include "src/runner/scenario.h"
+#include "src/runner/thread_pool.h"
+
+namespace optilog {
+namespace {
+
+// --- JsonWriter --------------------------------------------------------------
+
+TEST(RunnerJson, WriterProducesCanonicalBytes) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("a \"quoted\"\nvalue\t\\");
+  w.Key("count").Uint(42);
+  w.Key("neg").Int(-7);
+  w.Key("ratio").Double(0.5);
+  w.Key("flag").Bool(true);
+  w.Key("list").BeginArray().Uint(1).Uint(2).EndArray();
+  w.Key("empty").BeginObject().EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"a \\\"quoted\\\"\\nvalue\\t\\\\\","
+            "\"count\":42,\"neg\":-7,\"ratio\":0.5,\"flag\":true,"
+            "\"list\":[1,2],\"empty\":{}}");
+}
+
+TEST(RunnerJson, ControlCharactersEscaped) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String(std::string{'a', '\x01', 'b'});
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\u0001b\"}");
+}
+
+// --- BenchReporter CSV (RFC 4180) -------------------------------------------
+
+TEST(RunnerCsv, EscapesDelimitersQuotesAndNewlines) {
+  EXPECT_EQ(BenchReporter::CsvEscape("plain"), "plain");
+  EXPECT_EQ(BenchReporter::CsvEscape("Washington, DC"),
+            "\"Washington, DC\"");
+  EXPECT_EQ(BenchReporter::CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(BenchReporter::CsvEscape("two\nlines"), "\"two\nlines\"");
+
+  BenchReporter r("cities", {"city", "ms"});
+  r.AddRow({"Washington, DC", "12"});
+  EXPECT_EQ(r.ToCsv(),
+            "csv,cities,city,ms\n"
+            "csv,cities,\"Washington, DC\",12\n");
+}
+
+// --- Params and grid enumeration ---------------------------------------------
+
+TEST(RunnerParams, TypedGetters) {
+  Params p;
+  p.Set("geo", "Europe21").Set("n", "21").Set("delta", "1.5");
+  EXPECT_TRUE(p.Has("geo"));
+  EXPECT_FALSE(p.Has("nope"));
+  EXPECT_EQ(p.Get("geo"), "Europe21");
+  EXPECT_EQ(p.GetInt("n"), 21);
+  EXPECT_DOUBLE_EQ(p.GetDouble("delta"), 1.5);
+  EXPECT_EQ(p.Label(), "geo=Europe21 n=21 delta=1.5");
+  p.Set("geo", "Global73");  // overwrite keeps position
+  EXPECT_EQ(p.entries()[0].second, "Global73");
+}
+
+TEST(RunnerGrid, CartesianEnumerationOrder) {
+  Scenario s;
+  s.name = "grid";
+  s.run = [](const Params&) { return PointResult{}; };
+  s.grid = {{"a", {"1", "2"}}, {"b", {"x", "y", "z"}}};
+  const auto points = EnumeratePoints(s);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0].Label(), "a=1 b=x");
+  EXPECT_EQ(points[1].Label(), "a=1 b=y");  // last axis fastest
+  EXPECT_EQ(points[3].Label(), "a=2 b=x");
+  EXPECT_EQ(points[5].Label(), "a=2 b=z");
+}
+
+TEST(RunnerGrid, EmptyGridIsOnePointAndExplicitPointsWin) {
+  Scenario s;
+  s.name = "single";
+  s.run = [](const Params&) { return PointResult{}; };
+  EXPECT_EQ(EnumeratePoints(s).size(), 1u);
+
+  Params only;
+  only.Set("k", "v");
+  s.points = {only};
+  s.grid = {{"ignored", {"1", "2"}}};
+  const auto points = EnumeratePoints(s);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].Label(), "k=v");
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(ScenarioRegistryTest, AllElevenBenchesPlusChurnRegistered) {
+  const auto& registry = ScenarioRegistry::Instance();
+  // The former standalone binaries, now registrations (EXPERIMENTS.md).
+  for (const char* name :
+       {"fig07_runtime_attack", "fig08_mis_scaling", "fig09_baselines",
+        "fig10_suspicion_attack", "fig11_malicious_delay",
+        "fig12_sa_search_time", "fig13_proposal_size", "fig14_overprovision",
+        "fig15_reconfig_timeline", "ablation_candidate_policy",
+        "ablation_u_estimate", "ablation_cooling", "scale_events",
+        "crash_churn"}) {
+    EXPECT_NE(registry.Find(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.Find("no_such_scenario"), nullptr);
+
+  // All() is name-sorted (stable --list output).
+  const auto all = registry.All();
+  EXPECT_GE(all.size(), 14u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->name, all[i]->name);
+  }
+
+  // The CI gate's selection is non-empty and every member carries the tag.
+  const auto tier1 = registry.WithTag("tier1");
+  EXPECT_GE(tier1.size(), 5u);
+  for (const Scenario* s : tier1) {
+    EXPECT_TRUE(s->HasTag("tier1")) << s->name;
+  }
+  EXPECT_TRUE(registry.WithTag("no_such_tag").empty());
+}
+
+// --- ThreadPool --------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.threads(), 8u);
+  constexpr size_t kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.ParallelFor(kTasks, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatchesAndFewerTasksThanWorkers) {
+  ThreadPool pool(6);
+  for (int batch = 0; batch < 20; ++batch) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(3, [&](size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 6u);
+  }
+  std::atomic<int> none{0};
+  pool.ParallelFor(0, [&](size_t) { none.fetch_add(1); });
+  EXPECT_EQ(none.load(), 0);
+}
+
+TEST(ThreadPoolTest, InlineModeWithoutWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::vector<size_t> order;
+  pool.ParallelFor(4, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](size_t i) {
+                         if (i == 13) {
+                           throw std::runtime_error("boom");
+                         }
+                         completed.fetch_add(1);
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 63);
+  // The pool survives a throwing batch.
+  pool.ParallelFor(8, [&](size_t) { completed.fetch_add(1); });
+  EXPECT_EQ(completed.load(), 71);
+}
+
+// --- Determinism contract ----------------------------------------------------
+
+// A real multi-deployment sweep (Kauri, two sizes x two seeds). Small
+// enough for a unit test, real enough to cover simulator, network, crypto,
+// and metrics end to end.
+Scenario MiniSweep() {
+  Scenario s;
+  s.name = "test_mini_sweep";
+  s.columns = {"n", "seed", "committed", "events"};
+  s.grid = {{"n", {"11", "17"}}, {"seed", {"5", "6"}}};
+  // One shared base recipe; every grid point clones it concurrently from a
+  // worker thread — the Builder::Clone() sweep pattern.
+  TreeRsmOptions opts;
+  opts.pipeline_depth = 2;
+  Deployment::Builder base;
+  base.WithProtocol(Protocol::kKauri).WithTreeOptions(opts);
+  s.run = [base](const Params& p) {
+    const uint32_t n = static_cast<uint32_t>(p.GetInt("n"));
+    auto d = base.Clone()
+                 .WithReplicas(n, (n - 1) / 3)
+                 .WithSeed(static_cast<uint64_t>(p.GetInt("seed")))
+                 .Build();
+    d->Start();
+    d->RunUntil(5 * kSec);
+    const MetricsReport m = d->Metrics();
+    PointResult pr;
+    pr.rows.push_back({p.Get("n"), p.Get("seed"), std::to_string(m.committed),
+                       std::to_string(m.event_core.events_executed)});
+    pr.metrics = {{"committed", static_cast<double>(m.committed)},
+                  {"latency_ms", m.mean_latency_ms}};
+    pr.event_core = m.event_core;
+    pr.event_core.wall_seconds = 0.0;
+    pr.digest = MetricsFingerprint(m);
+    return pr;
+  };
+  s.finalize = [](const std::vector<PointResult>& points) {
+    SummaryTable t;
+    t.columns = {"total_committed"};
+    uint64_t total = 0;
+    for (const PointResult& p : points) {
+      total += static_cast<uint64_t>(p.metrics[0].second);
+    }
+    t.rows.push_back({std::to_string(total)});
+    return t;
+  };
+  return s;
+}
+
+TEST(SweepDeterminismTest, ByteIdenticalJsonAcrossThreadCounts) {
+  const Scenario s = MiniSweep();
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 8;
+  const ScenarioRunResult a = RunScenario(s, serial);
+  const ScenarioRunResult b = RunScenario(s, parallel);
+
+  EXPECT_FALSE(a.digest.empty());
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(DeterministicJson(a), DeterministicJson(b));
+  // Per-point digests (the log-head / fingerprint pins) survive too.
+  ASSERT_EQ(a.points.size(), 4u);
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_FALSE(a.points[i].digest.empty());
+    EXPECT_EQ(a.points[i].digest, b.points[i].digest);
+  }
+  // The deterministic JSON never contains the advisory wall clock.
+  EXPECT_EQ(DeterministicJson(a).find("wall"), std::string::npos);
+  EXPECT_NE(FullJson(a).find("wall_ms"), std::string::npos);
+}
+
+TEST(SweepDeterminismTest, RegisteredTier1ChurnSweepIsThreadCountInvariant) {
+  const Scenario* churn = ScenarioRegistry::Instance().Find("crash_churn");
+  ASSERT_NE(churn, nullptr);
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 4;
+  const ScenarioRunResult a = RunScenario(*churn, serial);
+  const ScenarioRunResult b = RunScenario(*churn, parallel);
+  EXPECT_EQ(DeterministicJson(a), DeterministicJson(b));
+  // OptiLog deployments pin their measurement bus: the digest must be the
+  // log head fingerprint, not empty.
+  for (const PointResult& p : a.points) {
+    EXPECT_EQ(p.digest.size(), 64u);
+  }
+}
+
+TEST(RunnerResult, FingerprintTracksEveryCountedField) {
+  MetricsReport m;
+  m.committed = 10;
+  m.throughput_per_sec = {1, 2, 3};
+  const std::string base = MetricsFingerprint(m);
+  EXPECT_EQ(base.size(), 64u);
+
+  MetricsReport changed = m;
+  changed.committed = 11;
+  EXPECT_NE(MetricsFingerprint(changed), base);
+  changed = m;
+  changed.throughput_per_sec[1] = 9;
+  EXPECT_NE(MetricsFingerprint(changed), base);
+  changed = m;
+  changed.log_head_hex = "ab";
+  EXPECT_NE(MetricsFingerprint(changed), base);
+  changed = m;
+  changed.event_core.typed_deliveries = 1;
+  EXPECT_NE(MetricsFingerprint(changed), base);
+  // Wall clock must NOT move the fingerprint.
+  changed = m;
+  changed.event_core.wall_seconds = 123.0;
+  EXPECT_EQ(MetricsFingerprint(changed), base);
+}
+
+}  // namespace
+}  // namespace optilog

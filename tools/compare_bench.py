@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Diff two trees of BENCH_<scenario>.json files against per-metric tolerances.
+
+Usage:
+    compare_bench.py BASELINE_DIR CANDIDATE_DIR [options]
+
+Options:
+    --tol NAME=REL          relative tolerance for the metric or column NAME
+                            (repeatable), e.g. --tol latency_ms=0.05
+    --default-float-tol REL fallback relative tolerance for non-integer
+                            values without an explicit --tol (default 0:
+                            exact)
+
+The gate, per the determinism contract (DESIGN.md, "Scenario runner"):
+
+  * structure (scenario set, columns, point count, params, row/summary
+    shapes, metric key sets) is exact — a missing point or column is a
+    failure, never a tolerance question;
+  * integer-valued cells and metrics ("shape/count metrics") are exact
+    unless NAME has an explicit --tol;
+  * float-valued cells and metrics compare within the tolerance for their
+    column/metric name (or --default-float-tol);
+  * wall_ms and the scenario digest are advisory: reported, never fatal
+    (the digest hashes the formatted rows, so it only drifts when some
+    tolerated float did).
+
+Exit status: 0 clean, 1 on any gated difference, 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def parse_args(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("candidate", type=Path)
+    ap.add_argument("--tol", action="append", default=[], metavar="NAME=REL")
+    ap.add_argument("--default-float-tol", type=float, default=0.0, metavar="REL")
+    args = ap.parse_args(argv)
+    tols = {}
+    for spec in args.tol:
+        name, eq, rel = spec.partition("=")
+        if not eq:
+            ap.error(f"--tol wants NAME=REL, got '{spec}'")
+        tols[name] = float(rel)
+    return args, tols
+
+
+def as_number(cell):
+    """A row cell parsed as a number, or None (cells are strings in the JSON)."""
+    if isinstance(cell, (int, float)):
+        return cell
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def is_integral(value):
+    return isinstance(value, int) or (isinstance(value, float) and value.is_integer())
+
+
+class Comparator:
+    def __init__(self, tols, default_float_tol):
+        self.tols = tols
+        self.default_float_tol = default_float_tol
+        self.failures = []
+        self.notes = []
+
+    def fail(self, where, msg):
+        self.failures.append(f"{where}: {msg}")
+
+    def note(self, msg):
+        self.notes.append(msg)
+
+    def tolerance_for(self, name, base, cand):
+        if name in self.tols:
+            return self.tols[name]
+        if is_integral(base) and is_integral(cand):
+            return None  # count metric: exact
+        return self.default_float_tol
+
+    def check_value(self, where, name, base, cand):
+        """One named numeric value (metric, or numeric row cell)."""
+        rel = self.tolerance_for(name, base, cand)
+        if rel is None or rel == 0.0:
+            if base != cand:
+                self.fail(where, f"{name}: {base} != {cand} (exact)")
+            return
+        scale = max(abs(base), abs(cand))
+        if scale > 0 and abs(base - cand) / scale > rel:
+            self.fail(
+                where,
+                f"{name}: {base} vs {cand} drifts "
+                f"{abs(base - cand) / scale:.2%} > {rel:.2%}",
+            )
+
+    def check_cell(self, where, column, base, cand):
+        nb, nc = as_number(base), as_number(cand)
+        if nb is None or nc is None:
+            if base != cand:
+                self.fail(where, f"{column}: '{base}' != '{cand}'")
+        else:
+            self.check_value(where, column, nb, nc)
+
+    def check_table(self, where, columns, base_rows, cand_rows):
+        if len(base_rows) != len(cand_rows):
+            self.fail(where, f"row count {len(base_rows)} != {len(cand_rows)}")
+            return
+        for i, (brow, crow) in enumerate(zip(base_rows, cand_rows)):
+            if len(brow) != len(crow):
+                self.fail(f"{where}[{i}]", f"width {len(brow)} != {len(crow)}")
+                continue
+            for c, (bcell, ccell) in enumerate(zip(brow, crow)):
+                name = columns[c] if c < len(columns) else f"col{c}"
+                self.check_cell(f"{where}[{i}]", name, bcell, ccell)
+
+    def check_scenario(self, name, base, cand):
+        if base.get("columns") != cand.get("columns"):
+            self.fail(name, "column schema differs")
+            return
+        columns = base.get("columns", [])
+        bpoints, cpoints = base.get("points", []), cand.get("points", [])
+        if len(bpoints) != len(cpoints):
+            self.fail(name, f"point count {len(bpoints)} != {len(cpoints)}")
+            return
+        for i, (bp, cp) in enumerate(zip(bpoints, cpoints)):
+            where = f"{name}.points[{i}]"
+            if bp.get("params") != cp.get("params"):
+                self.fail(where, f"params {bp.get('params')} != {cp.get('params')}")
+                continue
+            self.check_table(f"{where}.rows", columns, bp.get("rows", []),
+                             cp.get("rows", []))
+            bm, cm = bp.get("metrics", {}), cp.get("metrics", {})
+            if bm.keys() != cm.keys():
+                self.fail(where, f"metric keys {sorted(bm)} != {sorted(cm)}")
+            else:
+                for key in bm:
+                    self.check_value(where, key, bm[key], cm[key])
+            bec, cec = bp.get("event_core", {}), cp.get("event_core", {})
+            if bec != cec:
+                for key in sorted(set(bec) | set(cec)):
+                    if bec.get(key) != cec.get(key):
+                        self.check_value(f"{where}.event_core", key,
+                                         bec.get(key, 0), cec.get(key, 0))
+        bsum, csum = base.get("summary"), cand.get("summary")
+        if (bsum is None) != (csum is None):
+            self.fail(name, "summary presence differs")
+        elif bsum is not None:
+            if bsum.get("columns") != csum.get("columns"):
+                self.fail(f"{name}.summary", "column schema differs")
+            else:
+                self.check_table(f"{name}.summary", bsum.get("columns", []),
+                                 bsum.get("rows", []), csum.get("rows", []))
+        if base.get("digest") != cand.get("digest"):
+            self.note(f"{name}: digest differs (advisory; some tolerated "
+                      f"float moved)")
+        bw, cw = base.get("wall_ms"), cand.get("wall_ms")
+        if bw and cw:
+            self.note(f"{name}: wall {bw:.0f} ms -> {cw:.0f} ms "
+                      f"({(cw - bw) / bw:+.1%}, advisory)")
+
+
+def main(argv):
+    args, tols = parse_args(argv)
+    cmp = Comparator(tols, args.default_float_tol)
+
+    base_files = sorted(args.baseline.glob("BENCH_*.json"))
+    if not base_files:
+        print(f"error: no BENCH_*.json under {args.baseline}", file=sys.stderr)
+        return 2
+    for base_path in base_files:
+        cand_path = args.candidate / base_path.name
+        if not cand_path.is_file():
+            cmp.fail(base_path.stem, f"missing from {args.candidate}")
+            continue
+        with open(base_path) as f:
+            base = json.load(f)
+        with open(cand_path) as f:
+            cand = json.load(f)
+        cmp.check_scenario(base.get("scenario", base_path.stem), base, cand)
+    extra = {p.name for p in args.candidate.glob("BENCH_*.json")} - {
+        p.name for p in base_files
+    }
+    for name in sorted(extra):
+        cmp.note(f"{name}: no baseline committed (bench/baselines/), skipped")
+
+    for note in cmp.notes:
+        print(f"note: {note}")
+    if cmp.failures:
+        print(f"\nFAIL: {len(cmp.failures)} gated difference(s)")
+        for failure in cmp.failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nOK: {len(base_files)} scenario file(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
