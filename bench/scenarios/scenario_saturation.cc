@@ -1,0 +1,163 @@
+// Saturation sweep: offered load x replica count -> throughput / tail
+// latency knee (the workload-layer headline the paper's §7.3 latency plots
+// imply but never sweep).
+//
+// An open-loop Poisson client fleet offers `offered` req/s in total to a
+// pipelined Kauri deployment whose root batches under a size (150) /
+// deadline (20 ms) policy. Below capacity, throughput tracks offered load
+// and p99 stays near the round trip; past the knee, throughput plateaus at
+// the pipeline's capacity while p99 explodes into queueing delay and the
+// admission cap starts dropping — the classic open-loop hockey stick, per
+// replica count. The whole client path rides the typed event lanes: the
+// baseline pins closure_events == 0.
+//
+// bursty_phases: the same fleet driven through scripted phases (calm ->
+// 6x burst -> calm) to show queue build-up and drain-down; rows are the
+// per-5-second throughput trajectory.
+#include "bench/scenarios/common.h"
+#include "src/api/deployment.h"
+
+namespace optilog {
+namespace {
+
+constexpr SimTime kRunTime = 30 * kSec;
+constexpr uint32_t kClients = 40;
+constexpr uint32_t kLoads = 5;  // grid shape, used by the knee summary
+
+std::vector<City> CitiesForN(int64_t n) {
+  if (n == 21) {
+    return Europe21();
+  }
+  OL_CHECK_MSG(n == 43, "saturation: n must be 21 or 43");
+  return NaEu43();
+}
+
+WorkloadOptions BaseWorkload() {
+  WorkloadOptions w;
+  w.clients = kClients;
+  w.arrival = ArrivalProcess::kOpenPoisson;
+  w.record_samples = false;  // histogram only: millions of requests, no vectors
+  w.batch.max_batch = 150;
+  w.batch.max_delay = 20 * kMsec;
+  w.batch.max_queue = 20'000;
+  return w;
+}
+
+PointResult RunPoint(const Params& p) {
+  const int64_t n = p.GetInt("n");
+  const double offered = p.GetDouble("offered");
+  WorkloadOptions w = BaseWorkload();
+  w.rate_per_client = offered / kClients;
+
+  TreeRsmOptions topts;
+  topts.pipeline_depth = 2;
+  auto d = Deployment::Builder()
+               .WithGeo(CitiesForN(n))
+               .WithProtocol(Protocol::kKauri)
+               .WithSeed(17)
+               .WithTreeOptions(topts)
+               .WithWorkload(w)
+               .Build();
+  d->Start();
+  d->RunUntil(kRunTime);
+
+  const MetricsReport m = d->Metrics();
+  const double ops = m.MeanOps(2, static_cast<size_t>(kRunTime / kSec));
+  PointResult pr;
+  pr.rows.push_back({p.Get("n"), p.Get("offered"), Fixed(ops, 0),
+                     Fixed(m.workload.latency_p50_ms, 1),
+                     Fixed(m.workload.latency_p99_ms, 1),
+                     std::to_string(m.workload.requests_dropped),
+                     std::to_string(m.workload.peak_queue_depth)});
+  pr.metrics = {{"ops_per_sec", ops},
+                {"p50_ms", m.workload.latency_p50_ms},
+                {"p99_ms", m.workload.latency_p99_ms},
+                {"dropped", static_cast<double>(m.workload.requests_dropped)},
+                {"peak_queue", static_cast<double>(m.workload.peak_queue_depth)}};
+  FillOutcome(pr, m);
+  return pr;
+}
+
+Scenario MakeSaturation() {
+  Scenario s;
+  s.name = "saturation";
+  s.description =
+      "Open-loop Poisson fleet vs pipelined Kauri: throughput/p99 knee as "
+      "offered load crosses capacity, per replica count";
+  s.tags = {"workload", "sweep", "tier1"};
+  s.columns = {"n",      "offered", "ops_per_sec", "p50_ms",
+               "p99_ms", "dropped", "peak_queue"};
+  s.grid = {{"n", {"21", "43"}},
+            {"offered", {"500", "1000", "2000", "4000", "8000"}}};
+  s.run = RunPoint;
+  // Knee summary: the capacity each replica count saturates at, with the
+  // p99 on either side of the knee.
+  s.finalize = [](const std::vector<PointResult>& points) {
+    SummaryTable t;
+    t.columns = {"n", "capacity_ops", "p99_low_load", "p99_high_load"};
+    for (size_t base = 0; base + kLoads <= points.size(); base += kLoads) {
+      double capacity = 0.0;
+      for (size_t i = base; i < base + kLoads; ++i) {
+        capacity = std::max(capacity, points[i].metrics[0].second);
+      }
+      t.rows.push_back({points[base].rows[0][0], Fixed(capacity, 0),
+                        points[base].rows[0][4],
+                        points[base + kLoads - 1].rows[0][4]});
+    }
+    return t;
+  };
+  return s;
+}
+
+PointResult RunBurstyPoint(const Params& p) {
+  const uint64_t seed = static_cast<uint64_t>(p.GetInt("seed"));
+  WorkloadOptions w = BaseWorkload();
+  w.clients = 30;
+  w.rate_per_client = 20.0;  // 600 req/s base offered load
+  w.phases = {{10 * kSec, 1.0}, {5 * kSec, 6.0}, {15 * kSec, 1.0}};
+
+  TreeRsmOptions topts;
+  topts.pipeline_depth = 3;
+  auto d = Deployment::Builder()
+               .WithGeo(Europe21())
+               .WithProtocol(Protocol::kKauri)
+               .WithSeed(seed)
+               .WithTreeOptions(topts)
+               .WithWorkload(w)
+               .Build();
+  d->Start();
+  d->RunUntil(kRunTime);
+
+  const MetricsReport m = d->Metrics();
+  PointResult pr;
+  for (size_t from = 0; from < 30; from += 5) {
+    pr.rows.push_back({p.Get("seed"), std::to_string(from),
+                       Fixed(m.MeanOps(from, from + 5), 0)});
+  }
+  pr.metrics = {{"p50_ms", m.workload.latency_p50_ms},
+                {"p99_ms", m.workload.latency_p99_ms},
+                {"completed", static_cast<double>(m.workload.requests_completed)},
+                {"dropped", static_cast<double>(m.workload.requests_dropped)},
+                {"peak_queue", static_cast<double>(m.workload.peak_queue_depth)}};
+  FillOutcome(pr, m);
+  return pr;
+}
+
+Scenario MakeBursty() {
+  Scenario s;
+  s.name = "bursty_phases";
+  s.description =
+      "Scripted traffic phases (calm -> 6x burst -> calm) on Kauri: queue "
+      "build-up, drain-down, and the p99 cost of the burst";
+  s.tags = {"workload", "sweep"};
+  s.columns = {"seed", "from_s", "ops_per_sec"};
+  s.grid = {{"seed", {"1", "2"}}};
+  s.run = RunBurstyPoint;
+  return s;
+}
+
+const ScenarioRegistrar reg_saturation(MakeSaturation());
+const ScenarioRegistrar reg_bursty(MakeBursty());
+
+}  // namespace
+}  // namespace optilog

@@ -19,10 +19,16 @@ int main() {
   PbftOptions options;
   options.delta = 1.5;
   options.optimize_at = 5 * kSec;
+  // The workload layer's closed loop: one client per replica, 50 ms think
+  // time, a request completes on its f + 1-th reply (the Fig. 7 client).
+  WorkloadOptions workload;
+  workload.arrival = ArrivalProcess::kClosedLoop;
+  workload.think_time = 50 * kMsec;
   auto deployment = Deployment::Builder()
                         .WithGeo(Europe21())
                         .WithProtocol(Protocol::kOptiAware)
                         .WithPbftOptions(options)
+                        .WithWorkload(workload)
                         .Build();
   Deployment& d = *deployment;
   const std::vector<City>& cities = d.cities();
@@ -61,7 +67,13 @@ int main() {
 
   const MetricsReport metrics = d.Metrics();
   const ReplicaId leader = d.pbft().config().leader;
-  std::printf("\nsuspicions logged: %llu\n",
+  std::printf("\nfleet latency: p50 %.1f ms, p95 %.1f ms, p99 %.1f ms "
+              "(%llu requests)\n",
+              metrics.workload.latency_p50_ms, metrics.workload.latency_p95_ms,
+              metrics.workload.latency_p99_ms,
+              static_cast<unsigned long long>(
+                  metrics.workload.requests_completed));
+  std::printf("suspicions logged: %llu\n",
               static_cast<unsigned long long>(metrics.suspicions));
   std::printf("reconfigurations: %llu\n",
               static_cast<unsigned long long>(metrics.reconfigurations));

@@ -1,9 +1,13 @@
 // Stellar-network scenario: OptiTree on the 56-validator topology (§7.4's
-// "simulated Stellar network"), including a mid-run failure of an
-// intermediate node and the suspicion-driven recovery.
+// "simulated Stellar network"), serving a closed-loop client fleet through
+// a mid-run failure of an intermediate node and the suspicion-driven
+// recovery.
 //
 // The OptiLog recovery loop (suspicions -> measurement bus -> candidate set
-// -> SA over the survivors) is the deployment's WithOptiLogReconfig wiring.
+// -> SA over the survivors) is the deployment's WithOptiLogReconfig wiring;
+// the client fleet (WithWorkload) keeps issuing requests across the outage,
+// retrying against other replicas until the new tree serves them — so the
+// p99 below prices the recovery in client terms.
 //
 //   $ ./stellar_network
 #include <cstdio>
@@ -22,6 +26,15 @@ int main() {
   // crashed subtree is noticed instead of silently tolerated.
   opts.votes_required = n - 4;
 
+  // 112 closed-loop clients (two per validator city) with a retry timeout:
+  // requests stranded by the crash re-route to surviving replicas.
+  WorkloadOptions workload;
+  workload.clients = 2 * n;
+  workload.think_time = 20 * kMsec;
+  workload.retry_timeout = 2 * kSec;
+  workload.batch.max_batch = 500;
+  workload.batch.max_delay = 15 * kMsec;
+
   ReplicaId victim = kNoReplica;
   auto deployment =
       Deployment::Builder()
@@ -32,6 +45,7 @@ int main() {
           .WithInitialSearch(AnnealingParams::ForBudget(5000))
           .WithBandwidth(500e6)
           .WithTreeOptions(opts)
+          .WithWorkload(workload)
           .WithOptiLogReconfig(/*search_window=*/1 * kSec)
           .WithFaults([&victim](Deployment& dep) {
             // An intermediate crashes at t = 15 s; OptiLog's machinery picks
@@ -56,6 +70,11 @@ int main() {
               static_cast<unsigned long long>(m.committed),
               static_cast<unsigned long long>(m.total_commands));
   std::printf("%-28s %.1f ms\n", "mean consensus latency:", m.mean_latency_ms);
+  std::printf("%-28s p50 %.1f ms, p99 %.1f ms (%llu served, %llu retries)\n",
+              "client latency:", m.workload.latency_p50_ms,
+              m.workload.latency_p99_ms,
+              static_cast<unsigned long long>(m.workload.requests_completed),
+              static_cast<unsigned long long>(m.workload.requests_retried));
   std::printf("%-28s %llu (victim %s at t=15s)\n", "reconfigurations:",
               static_cast<unsigned long long>(m.reconfigurations),
               cities[victim].name.c_str());

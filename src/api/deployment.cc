@@ -133,6 +133,11 @@ Deployment::Builder& Deployment::Builder::WithPbftOptions(PbftOptions opts) {
   return *this;
 }
 
+Deployment::Builder& Deployment::Builder::WithWorkload(WorkloadOptions opts) {
+  workload_ = std::move(opts);
+  return *this;
+}
+
 Deployment::Builder& Deployment::Builder::WithTopology(TreeTopology tree) {
   topology_ = std::move(tree);
   return *this;
@@ -167,12 +172,19 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
   d->f_ = f_.value_or((d->n_ - 1) / 3);
   d->cities_.assign(cities_.begin(), cities_.begin() + d->n_);
 
-  // Latency model. The PBFT family colocates one client per replica city
-  // (client id = n + replica id), so the model covers both id ranges.
-  std::vector<City> model_cities = d->cities_;
-  if (!IsTreeProtocol(protocol_)) {
-    model_cities.insert(model_cities.end(), d->cities_.begin(), d->cities_.end());
+  // Latency model. Deployments that serve clients (any WithWorkload, and
+  // the PBFT family's default one-client-per-replica fleet) extend it with
+  // the client locations — colocated with replica cities round-robin — so
+  // client <-> replica deliveries resolve for ids n .. n + clients - 1.
+  size_t client_count = 0;
+  if (workload_.has_value()) {
+    client_count = workload_->clients != 0 ? workload_->clients : d->n_;
+  } else if (!IsTreeProtocol(protocol_)) {
+    client_count = d->n_;
   }
+  std::vector<City> model_cities =
+      client_count > 0 ? WithColocatedClients(d->cities_, client_count)
+                       : d->cities_;
   d->latency_model_ = std::make_unique<GeoLatencyModel>(model_cities);
   d->net_ = std::make_unique<Network>(&d->sim_, d->latency_model_.get(),
                                       &d->faults_);
@@ -192,10 +204,18 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
     }
   }
 
+  // The deployment seed folds into the fleet seed so sweeps that only vary
+  // WithSeed draw independent arrival processes per point.
+  std::optional<WorkloadOptions> workload = workload_;
+  if (workload.has_value()) {
+    workload->seed = workload->seed * 0x9e3779b97f4a7c15ULL ^ seed;
+  }
+
   if (IsTreeProtocol(protocol_)) {
     TreeRsmOptions topts = tree_opts_;
     topts.n = d->n_;
     topts.f = d->f_;
+    topts.workload = workload;
     d->tree_ = std::make_unique<TreeRsm>(&d->sim_, d->net_.get(),
                                          d->keys_.get(), &d->matrix_, topts);
 
@@ -263,6 +283,9 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
     }
     if (seed_.has_value()) {
       popts.seed = *seed_;  // unset: PbftOptions keeps its own default
+    }
+    if (workload.has_value()) {
+      popts.workload = workload;
     }
     d->pbft_ = std::make_unique<PbftHarness>(&d->sim_, d->net_.get(),
                                              d->keys_.get(), popts);

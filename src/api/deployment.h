@@ -157,6 +157,15 @@ class Deployment::Builder {
   Builder& WithTreeOptions(TreeRsmOptions opts);
   Builder& WithPbftOptions(PbftOptions opts);
 
+  // Client traffic (src/workload/): a ClientFleet drives the engine instead
+  // of self-driven proposals (tree family) or the legacy per-replica closed
+  // loop (PBFT family). Clients are colocated with replica cities
+  // round-robin and the latency model is extended to cover them; zeros in
+  // `clients` / `replies_needed` resolve to protocol defaults at Build.
+  // Like every builder knob this is a value — Clone() copies it, so sweeps
+  // can stamp out per-point workloads from one base recipe.
+  Builder& WithWorkload(WorkloadOptions opts);
+
   // Initial topology override for tree protocols (default: star for
   // HotStuff, random tree for Kauri, SA tree for OptiTree).
   Builder& WithTopology(TreeTopology tree);
@@ -195,6 +204,7 @@ class Deployment::Builder {
   std::optional<uint64_t> seed_;  // unset: each component keeps its default
   TreeRsmOptions tree_opts_;
   PbftOptions pbft_opts_;
+  std::optional<WorkloadOptions> workload_;
   std::optional<TreeTopology> topology_;
   std::optional<AnnealingParams> search_params_;
   bool optilog_reconfig_ = false;

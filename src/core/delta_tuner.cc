@@ -23,8 +23,10 @@ double DeltaTuner::InflationOf(const std::vector<double>& window) const {
   if (window.size() < 3) {
     return 1.0;
   }
-  const double median = Percentile(window, 50.0);
-  const double tail = Percentile(window, opts_.quantile * 100.0);
+  std::vector<double> sorted = window;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = SortedPercentile(sorted, 50.0);
+  const double tail = SortedPercentile(sorted, opts_.quantile * 100.0);
   if (median <= 0.0) {
     return 1.0;
   }

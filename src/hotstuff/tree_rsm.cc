@@ -31,6 +31,9 @@ void TreeReplica::OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) {
     case kMsgAggregate:
       HandleAggregate(from, static_cast<const AggregateMsg&>(*msg));
       break;
+    case kMsgClientRequest:
+      harness_->OnClientRequest(id_, msg);
+      break;
     default:
       break;
   }
@@ -164,6 +167,18 @@ TreeRsm::TreeRsm(Simulator* sim, Network* net, const KeyStore* keys,
     replicas_.push_back(std::make_unique<TreeReplica>(id, this));
     net_->Register(id, replicas_.back().get());
   }
+  if (opts_.workload.has_value()) {
+    WorkloadOptions w = *opts_.workload;
+    if (w.clients == 0) {
+      w.clients = opts_.n;
+    }
+    if (w.replies_needed == 0) {
+      w.replies_needed = 1;  // the root's commit-stamped reply
+    }
+    queue_ = std::make_unique<RequestQueue>(w.batch);
+    fleet_ = std::make_unique<ClientFleet>(
+        sim_, net_, opts_.n, std::move(w), [this] { return tree_.root(); });
+  }
 }
 
 void TreeRsm::SetTopology(const TreeTopology& tree) {
@@ -213,13 +228,39 @@ MetricsReport TreeRsm::Metrics() const {
   report.reconfig_times = reconfig_times_;
   report.suspicion_times = suspicion_times_;
   report.event_core = sim_->event_core_stats();
+  if (fleet_ != nullptr) {
+    fleet_->FillReport(report.workload);
+    FillQueueReport(*queue_, report.workload);
+  }
   return report;
 }
 
 void TreeRsm::Start() {
   started_ = true;
+  if (fleet_ != nullptr) {
+    fleet_->Start();  // rounds start when requests arrive
+    return;
+  }
   for (uint32_t i = 0; i < opts_.pipeline_depth; ++i) {
     StartRound();
+  }
+}
+
+void TreeRsm::OnClientRequest(ReplicaId receiver, const MessagePtr& msg) {
+  if (queue_ == nullptr) {
+    return;  // self-driven run: no client path
+  }
+  const auto& req = static_cast<const ClientRequestMsg&>(*msg);
+  if (receiver != tree_.root()) {
+    // Not the proposer: forward the same immutable message to the root
+    // (stale client knowledge after a reconfiguration, or a retry probing
+    // another replica).
+    net_->Send(receiver, tree_.root(), msg);
+    return;
+  }
+  if (queue_->Push(RequestRef{req.client, req.request_id, req.sent_at},
+                   sim_->now()) == RequestQueue::Admit::kAccepted) {
+    PumpWorkload(false);
   }
 }
 
@@ -235,12 +276,27 @@ void TreeRsm::OnTimer(uint64_t tag, SimTime at) {
     RefillPipeline();
     return;
   }
+  if (tag == kTimerBatchDeadline) {
+    batch_timer_ = kNoEvent;
+    PumpWorkload(true);
+    return;
+  }
   OnRoundTimeout(tag);
 }
 
 void TreeRsm::StartRound() {
   if (!started_ || paused_ || in_flight_ >= opts_.pipeline_depth) {
     return;
+  }
+  std::vector<RequestRef> batch;
+  if (queue_ != nullptr) {
+    batch = queue_->PopBatch(sim_->now(),
+                             queue_->depth() >= queue_->policy().max_batch
+                                 ? BatchTrigger::kSize
+                                 : BatchTrigger::kDeadline);
+    if (batch.empty()) {
+      return;  // workload mode never proposes empty blocks
+    }
   }
   const uint64_t view = next_view_++;
   if (opts_.rotate_root) {
@@ -258,13 +314,17 @@ void TreeRsm::StartRound() {
   Round& round = rounds_[view];
   round.block = BlockDigest(view);
   round.proposed_at = sim_->now();
+  round.proposer = tree_.root();
+  round.batch = std::move(batch);
   round.votes.insert(tree_.root());  // the root's own vote is free
 
   auto propose = std::make_shared<ProposeMsg>();
   propose->view = view;
   propose->block = round.block;
   propose->timestamp = sim_->now();
-  propose->batch_size = opts_.batch_size;
+  propose->batch_size = queue_ != nullptr
+                            ? static_cast<uint32_t>(round.batch.size())
+                            : opts_.batch_size;
   propose->cmd_bytes = opts_.cmd_bytes;
   for (ReplicaId child : tree_.ChildrenOf(tree_.root())) {
     net_->Send(tree_.root(), child, propose);
@@ -296,10 +356,25 @@ void TreeRsm::CommitRound(uint64_t view) {
   round.committed = true;
   sim_->Cancel(round.timeout);
   ++committed_blocks_;
-  throughput_.RecordCommit(sim_->now(), opts_.batch_size);
   latency_rec_.Record(round.proposed_at, sim_->now());
+  if (queue_ != nullptr) {
+    // Commit boundary: the proposing root replies to every request on
+    // board — the stamp the client's end-to-end latency measures against.
+    // (Under rotate_root the current tree_.root() is already a later
+    // view's root; the batch lives at this round's proposer.)
+    throughput_.RecordCommit(sim_->now(),
+                             static_cast<uint32_t>(round.batch.size()));
+    for (const RequestRef& req : round.batch) {
+      auto reply = std::make_shared<ClientReplyMsg>();
+      reply->request_id = req.request_id;
+      reply->seq = view;
+      net_->Send(round.proposer, req.client, std::move(reply));
+    }
+  } else {
+    throughput_.RecordCommit(sim_->now(), opts_.batch_size);
+  }
   --in_flight_;
-  StartRound();
+  RefillPipeline();
   // Bound memory in long runs.
   while (rounds_.size() > 4 * opts_.pipeline_depth + 16) {
     rounds_.erase(rounds_.begin());
@@ -315,6 +390,7 @@ void TreeRsm::OnRoundTimeout(uint64_t view) {
   round.failed = true;
   ++failed_rounds_;
   --in_flight_;
+  ReturnBatchToQueue(round);
 
   // Suspicions from the root against silent subtrees (condition (b)); if the
   // root itself is the problem, intermediates suspect it (condition (a) — no
@@ -362,6 +438,7 @@ void TreeRsm::AbandonInFlightRounds() {
     if (!r.committed && !r.failed) {
       r.failed = true;
       sim_->Cancel(r.timeout);
+      ReturnBatchToQueue(r);
       if (in_flight_ > 0) {
         --in_flight_;
       }
@@ -369,7 +446,21 @@ void TreeRsm::AbandonInFlightRounds() {
   }
 }
 
+// Workload mode: a failed or abandoned round's requests go back to the
+// front of the queue — accepted once, committed at most once, never lost.
+void TreeRsm::ReturnBatchToQueue(Round& round) {
+  if (queue_ == nullptr || round.batch.empty()) {
+    return;
+  }
+  queue_->Requeue(std::move(round.batch), sim_->now());
+  round.batch.clear();
+}
+
 void TreeRsm::RefillPipeline() {
+  if (queue_ != nullptr) {
+    PumpWorkload(false);
+    return;
+  }
   while (in_flight_ < opts_.pipeline_depth) {
     const uint32_t before = in_flight_;
     StartRound();
@@ -377,6 +468,46 @@ void TreeRsm::RefillPipeline() {
       break;  // paused or not started
     }
   }
+}
+
+void TreeRsm::PumpWorkload(bool deadline_fired) {
+  if (queue_ == nullptr || !started_ || paused_) {
+    return;
+  }
+  const BatchPolicy& policy = queue_->policy();
+  while (in_flight_ < opts_.pipeline_depth && !queue_->empty()) {
+    const bool due =
+        deadline_fired ||
+        sim_->now() >= queue_->front_enqueued_at() + policy.max_delay;
+    if (!due && queue_->depth() < policy.max_batch) {
+      break;
+    }
+    deadline_fired = false;  // one partial batch per deadline expiry
+    const uint32_t before = in_flight_;
+    StartRound();
+    if (in_flight_ == before) {
+      break;
+    }
+  }
+  // (Re)arm the deadline for the oldest leftover request. While the
+  // pipeline is full the timer stays off: the next commit pumps again, and
+  // an armed timer would otherwise spin at the current instant.
+  if (queue_->empty() || in_flight_ >= opts_.pipeline_depth) {
+    if (batch_timer_ != kNoEvent) {
+      sim_->Cancel(batch_timer_);
+      batch_timer_ = kNoEvent;
+    }
+    return;
+  }
+  const SimTime due_at = queue_->front_enqueued_at() + policy.max_delay;
+  if (batch_timer_ != kNoEvent && batch_timer_due_ == due_at) {
+    return;
+  }
+  if (batch_timer_ != kNoEvent) {
+    sim_->Cancel(batch_timer_);
+  }
+  batch_timer_due_ = due_at;
+  batch_timer_ = sim_->ScheduleTimerAt(due_at, this, kTimerBatchDeadline);
 }
 
 void TreeRsm::RecordSuspicion(const SuspicionRecord& rec) {

@@ -33,13 +33,16 @@
 #include "src/rsm/metrics.h"
 #include "src/tree/topology.h"
 #include "src/tree/tree_score.h"
+#include "src/workload/workload.h"
 
 namespace optilog {
 
 struct TreeRsmOptions {
   uint32_t n = 0;
   uint32_t f = 0;
-  uint32_t batch_size = 1000;  // commands per block (§7.3)
+  // Commands per block when the harness self-drives (no workload attached;
+  // models §7.3's fixed client population saturating every block).
+  uint32_t batch_size = 1000;
   size_t cmd_bytes = 100;      // proposals "without transaction payload"
   uint32_t pipeline_depth = 1; // concurrent instances (3 with pipelining)
   double delta = 1.0;          // timing slack multiplier
@@ -56,6 +59,10 @@ struct TreeRsmOptions {
   // star topologies.
   bool rotate_root = false;
   bool enable_suspicion_sensor = false;
+  // When set, the harness stops self-driving proposals: a ClientFleet sends
+  // requests to the root, which batches them under the workload's
+  // BatchPolicy (size/deadline triggers) and replies at the commit boundary.
+  std::optional<WorkloadOptions> workload;
 };
 
 class TreeRsm;
@@ -132,6 +139,9 @@ class TreeRsm : public ConsensusEngine, public TimerTarget {
 
   const ThroughputRecorder& throughput() const { return throughput_; }
   const LatencyRecorder& latency_rec() const { return latency_rec_; }
+  // Present only when options().workload is set.
+  const ClientFleet* fleet() const { return fleet_.get(); }
+  const RequestQueue* request_queue() const { return queue_.get(); }
   uint64_t committed_blocks() const { return committed_blocks_; }
   uint64_t failed_rounds() const { return failed_rounds_; }
   uint64_t reconfigurations() const { return reconfigurations_; }
@@ -150,14 +160,17 @@ class TreeRsm : public ConsensusEngine, public TimerTarget {
  private:
   friend class TreeReplica;
 
-  // Round-failure tags are views, which count up from 0; the resume tag
-  // can never collide.
+  // Round-failure tags are views, which count up from 0; the reserved tags
+  // count down from ~0 and can never collide.
   static constexpr uint64_t kTimerResumeProposals = ~0ull;
+  static constexpr uint64_t kTimerBatchDeadline = ~0ull - 1;
 
   struct Round {
     Digest block{};
     SimTime proposed_at = 0;
+    ReplicaId proposer = kNoReplica;  // the root that proposed this view
     std::set<ReplicaId> votes;
+    std::vector<RequestRef> batch;  // workload mode: the requests on board
     bool committed = false;
     bool failed = false;
     EventId timeout = kNoEvent;
@@ -166,6 +179,12 @@ class TreeRsm : public ConsensusEngine, public TimerTarget {
   void StartRound();
   void AbandonInFlightRounds();
   void RefillPipeline();
+  // Batcher entry point (workload mode): proposes while the size trigger
+  // (queue >= max_batch) holds — or once, immediately, when the deadline
+  // fired — then (re)arms the deadline timer for the oldest waiting request.
+  void PumpWorkload(bool deadline_fired);
+  void OnClientRequest(ReplicaId receiver, const MessagePtr& msg);
+  void ReturnBatchToQueue(Round& round);
   void OnRootVotes(uint64_t view, Digest block, const std::vector<ReplicaId>& voters);
   void CommitRound(uint64_t view);
   void OnRoundTimeout(uint64_t view);
@@ -187,6 +206,12 @@ class TreeRsm : public ConsensusEngine, public TimerTarget {
   uint32_t in_flight_ = 0;
   bool paused_ = false;
   bool started_ = false;
+
+  // Workload mode (options().workload): client fleet + leader request queue.
+  std::unique_ptr<RequestQueue> queue_;
+  std::unique_ptr<ClientFleet> fleet_;
+  EventId batch_timer_ = kNoEvent;
+  SimTime batch_timer_due_ = 0;
 
   ThroughputRecorder throughput_;
   LatencyRecorder latency_rec_;

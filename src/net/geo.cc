@@ -269,6 +269,16 @@ std::vector<City> GlobalN(size_t n, uint64_t seed) {
   return out;
 }
 
+std::vector<City> WithColocatedClients(std::vector<City> replicas,
+                                       size_t clients) {
+  const size_t n = replicas.size();
+  replicas.reserve(n + clients);
+  for (size_t i = 0; i < clients; ++i) {
+    replicas.push_back(replicas[i % n]);
+  }
+  return replicas;
+}
+
 std::vector<std::vector<double>> RttMatrixMs(const std::vector<City>& cities) {
   const size_t n = cities.size();
   std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));

@@ -60,4 +60,11 @@ std::vector<City> GlobalN(size_t n, uint64_t seed = 42);
 // Symmetric RTT matrix (ms) for a set of cities.
 std::vector<std::vector<double>> RttMatrixMs(const std::vector<City>& cities);
 
+// Geo placement for a client fleet: appends `clients` client locations to
+// the replica city list, colocating client i with replica (i % replicas).
+// The returned list is what the latency model covers so client <-> replica
+// deliveries resolve for ids replicas .. replicas + clients - 1.
+std::vector<City> WithColocatedClients(std::vector<City> replicas,
+                                       size_t clients);
+
 }  // namespace optilog

@@ -1,6 +1,9 @@
 // Wire messages for the PBFT / BFT-SMaRt / Aware family (§5, §7.1).
 // Aware names: Propose / Write / Accept == PBFT's Pre-Prepare / Prepare /
 // Commit. Sizes model BFT-SMaRt's MAC-vector-free signed messages.
+// Client-facing request/reply messages (and RequestRef) live in the shared
+// workload layer (src/workload/messages.h) — both protocol families serve
+// the same client fleet.
 #pragma once
 
 #include <vector>
@@ -8,34 +11,16 @@
 #include "src/crypto/signature.h"
 #include "src/sim/message.h"
 #include "src/sim/time.h"
+#include "src/workload/messages.h"
 
 namespace optilog {
 
 enum PbftMsgType {
-  kMsgRequest = 10,
   kMsgPrePrepare = 11,
   kMsgWrite = 12,
   kMsgAccept = 13,
-  kMsgReply = 14,
   kMsgPbftProbe = 15,
   kMsgPbftProbeReply = 16,
-};
-
-struct RequestMsg : Message {
-  ReplicaId client = kNoReplica;
-  uint64_t request_id = 0;
-  SimTime sent_at = 0;
-  size_t payload_bytes = 0;
-
-  int type() const override { return kMsgRequest; }
-  size_t WireSize() const override { return 24 + payload_bytes + kSignatureSize; }
-  std::string Name() const override { return "Request"; }
-};
-
-struct RequestRef {
-  ReplicaId client = kNoReplica;
-  uint64_t request_id = 0;
-  SimTime sent_at = 0;
 };
 
 struct PrePrepareMsg : Message {
@@ -64,15 +49,6 @@ struct PhaseMsg : Message {  // Write or Accept
   int type() const override { return accept ? kMsgAccept : kMsgWrite; }
   size_t WireSize() const override { return 8 + 32 + kSignatureSize; }
   std::string Name() const override { return accept ? "Accept" : "Write"; }
-};
-
-struct ReplyMsg : Message {
-  uint64_t request_id = 0;
-  uint64_t seq = 0;
-
-  int type() const override { return kMsgReply; }
-  size_t WireSize() const override { return 16 + kSignatureSize; }
-  std::string Name() const override { return "Reply"; }
 };
 
 struct PbftProbeMsg : Message {

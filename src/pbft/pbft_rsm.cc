@@ -25,14 +25,9 @@ Digest BatchDigest(uint64_t seq, const std::vector<RequestRef>& batch) {
 
 void PbftReplica::OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) {
   switch (msg->type()) {
-    case kMsgRequest: {
-      const auto& req = static_cast<const RequestMsg&>(*msg);
-      if (id_ == harness_->config_.leader) {
-        harness_->SubmitRequest(
-            RequestRef{req.client, req.request_id, req.sent_at});
-      }
+    case kMsgClientRequest:
+      harness_->OnClientRequest(id_, msg);
       break;
-    }
     case kMsgPrePrepare:
       HandlePrePrepare(from, static_cast<const PrePrepareMsg&>(*msg), at);
       break;
@@ -150,9 +145,10 @@ void PbftReplica::MaybeAdvance(uint64_t seq) {
 void PbftReplica::Commit(uint64_t seq) {
   Instance& inst = instances_[seq];
   inst.committed = true;
-  // Reply to every client in the batch.
+  // Commit boundary: reply to every client in the batch (the client
+  // completes on its f + 1-th reply).
   for (const RequestRef& req : inst.batch) {
-    auto reply = std::make_shared<ReplyMsg>();
+    auto reply = std::make_shared<ClientReplyMsg>();
     reply->request_id = req.request_id;
     reply->seq = seq;
     harness_->net_->Send(id_, req.client, std::move(reply));
@@ -170,42 +166,29 @@ void PbftReplica::Commit(uint64_t seq) {
   }
 }
 
-// --- PbftClient ----------------------------------------------------------------
-
-void PbftClient::SendNext(SimTime at) {
-  (void)at;
-  auto req = std::make_shared<RequestMsg>();
-  req->client = id_;
-  req->request_id = next_request_++;
-  req->sent_at = harness_->sim_->now();
-  req->payload_bytes = harness_->opts_.request_bytes;
-  current_sent_at_ = req->sent_at;
-  replies_ = 0;
-  harness_->net_->Send(id_, harness_->config_.leader, std::move(req));
-}
-
-void PbftClient::OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) {
-  (void)from;
-  if (msg->type() != kMsgReply) {
-    return;
-  }
-  const auto& reply = static_cast<const ReplyMsg&>(*msg);
-  if (reply.request_id != next_request_ - 1) {
-    return;  // stale
-  }
-  ++replies_;
-  if (replies_ == harness_->opts_.f + 1) {
-    samples_.push_back(ClientSample{at, ToMs(at - current_sent_at_)});
-    harness_->sim_->ScheduleTimer(this, 0, harness_->opts_.request_interval);
-  }
-}
-
-void PbftClient::OnTimer(uint64_t tag, SimTime at) {
-  (void)tag;
-  SendNext(at);
-}
-
 // --- PbftHarness -----------------------------------------------------------------
+
+namespace {
+
+// The pre-workload-layer client behavior, kept as the default: one
+// closed-loop client per replica, one outstanding request, think time
+// between requests, completion on the f + 1-th reply, and a leader that
+// drains its whole queue into each batch.
+WorkloadOptions LegacyWorkload(const PbftOptions& opts) {
+  WorkloadOptions w;
+  w.clients = opts.n;
+  w.arrival = ArrivalProcess::kClosedLoop;
+  w.outstanding = 1;
+  w.think_time = opts.request_interval;
+  w.request_bytes = opts.request_bytes;
+  w.seed = opts.seed;
+  w.batch.max_batch = ~0u;
+  w.batch.max_delay = 0;
+  w.batch.max_queue = ~size_t{0};
+  return w;
+}
+
+}  // namespace
 
 PbftHarness::PbftHarness(Simulator* sim, Network* net, const KeyStore* keys,
                          PbftOptions opts)
@@ -249,10 +232,16 @@ PbftHarness::PbftHarness(Simulator* sim, Network* net, const KeyStore* keys,
           });
     }
   }
-  for (uint32_t i = 0; i < opts_.n; ++i) {
-    clients_.push_back(std::make_unique<PbftClient>(ClientId(i), this));
-    net_->Register(ClientId(i), clients_.back().get());
+  WorkloadOptions w = opts_.workload.value_or(LegacyWorkload(opts_));
+  if (w.clients == 0) {
+    w.clients = opts_.n;
   }
+  if (w.replies_needed == 0) {
+    w.replies_needed = opts_.f + 1;
+  }
+  queue_ = std::make_unique<RequestQueue>(w.batch);
+  fleet_ = std::make_unique<ClientFleet>(
+      sim_, net_, opts_.n, std::move(w), [this] { return config_.leader; });
 
   net_->SetProposalClassifier(
       [](const Message& m) { return m.type() == kMsgPrePrepare; });
@@ -263,9 +252,7 @@ PbftHarness::PbftHarness(Simulator* sim, Network* net, const KeyStore* keys,
 
 void PbftHarness::Start() {
   started_ = true;
-  for (auto& client : clients_) {
-    client->SendNext(sim_->now());
-  }
+  fleet_->Start();
   if (opts_.mode != PbftMode::kPbft) {
     RunProbeRound();
     sim_->ScheduleTimerAt(opts_.optimize_at, this, kTimerAwareOptimize);
@@ -309,27 +296,34 @@ MetricsReport PbftHarness::Metrics() const {
   report.throughput_per_sec = throughput_.per_second();
   report.reconfig_times = reconfig_times_;
   report.suspicion_times = suspicion_times_;
-  RunningStat latency;
-  for (const auto& client : clients_) {
-    for (const ClientSample& s : client->samples()) {
-      latency.Add(s.latency_ms);
-    }
-  }
-  report.mean_latency_ms = latency.mean();
   report.log_head_hex = DigestHex(log_.head());
   report.event_core = sim_->event_core_stats();
+  fleet_->FillReport(report.workload);
+  FillQueueReport(*queue_, report.workload);
+  // End-to-end client latency — the metric the paper's PBFT figures plot.
+  report.mean_latency_ms = report.workload.latency_mean_ms;
   return report;
 }
 
-void PbftHarness::SubmitRequest(const RequestRef& req) {
-  pending_requests_.push_back(req);
+void PbftHarness::OnClientRequest(ReplicaId receiver, const MessagePtr& msg) {
+  const auto& req = static_cast<const ClientRequestMsg&>(*msg);
+  if (receiver != config_.leader) {
+    // A retry probing another replica, or a request that raced a
+    // reconfiguration: forward the same immutable message to the leader.
+    net_->Send(receiver, config_.leader, msg);
+    return;
+  }
+  if (queue_->Push(RequestRef{req.client, req.request_id, req.sent_at},
+                   sim_->now()) != RequestQueue::Admit::kAccepted) {
+    return;
+  }
   if (!instance_open_) {
     ProposeNext(sim_->now());
   }
 }
 
 void PbftHarness::ProposeNext(SimTime now) {
-  if (pending_requests_.empty()) {
+  if (queue_->empty()) {
     return;
   }
   instance_open_ = true;
@@ -338,10 +332,11 @@ void PbftHarness::ProposeNext(SimTime now) {
   msg->seq = seq;
   msg->leader = config_.leader;
   msg->timestamp = now;
-  while (!pending_requests_.empty()) {
-    msg->batch.push_back(pending_requests_.front());
-    pending_requests_.pop_front();
-  }
+  // PBFT's trigger is propose-on-idle: whenever no instance is open. A
+  // full queue still counts as the size trigger for honest accounting.
+  msg->batch = queue_->PopBatch(
+      now, queue_->depth() >= queue_->policy().max_batch ? BatchTrigger::kSize
+                                                         : BatchTrigger::kIdle);
   std::vector<ReplicaId> all(opts_.n);
   for (ReplicaId id = 0; id < opts_.n; ++id) {
     all[id] = id;
@@ -364,7 +359,7 @@ void PbftHarness::OnCommitAtLeader(uint64_t seq, uint32_t batch_size) {
   pipeline_->OnView(committed_instances_);
   instance_open_ = false;
   MaybeReactToSuspicions();
-  if (!pending_requests_.empty()) {
+  if (!queue_->empty()) {
     ProposeNext(sim_->now());
   }
 }
@@ -509,7 +504,7 @@ void PbftHarness::OnReconfigure(const RoleConfig& config, double score) {
   reconfig_times_.push_back(sim_->now());
   pipeline_->config_monitor_mutable().SetActive(config_, score);
   instance_open_ = false;
-  if (!pending_requests_.empty()) {
+  if (!queue_->empty()) {
     ProposeNext(sim_->now());
   }
 }

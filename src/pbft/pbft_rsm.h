@@ -11,10 +11,12 @@
 //                when the candidate set excludes the leader, the config
 //                monitor waits for f + 1 search proposals and reconfigures.
 //
-// Clients: one per replica, colocated in the replica's city (client id =
-// n + replica id). Clients issue requests in a closed loop to the current
-// leader and record end-to-end latency on the f + 1-th reply — the metric
-// Fig. 7 plots over time.
+// Clients: the shared workload layer (src/workload/). By default one
+// closed-loop client per replica, colocated in the replica's city (client
+// id = n + replica id), issuing requests to the current leader and stamping
+// end-to-end latency on the f + 1-th reply — the metric Fig. 7 plots over
+// time. PbftOptions::workload swaps in any other fleet (open-loop rates,
+// Poisson arrivals, scripted phases, retries).
 //
 // OptiLog integration: the harness owns a shared Log and one Pipeline
 // instance — the monitor side is deterministic (Table 1), so the per-replica
@@ -24,7 +26,6 @@
 // dispatched to the monitors at the commit boundary.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -37,6 +38,7 @@
 #include "src/pbft/messages.h"
 #include "src/rsm/log.h"
 #include "src/rsm/metrics.h"
+#include "src/workload/workload.h"
 
 namespace optilog {
 
@@ -58,11 +60,10 @@ struct PbftOptions {
   // Monitor-side knobs for the harness's shared pipeline. delta, rng_seed
   // and auto_reciprocate are overridden from the options above.
   Pipeline::Options pipeline;
-};
-
-struct ClientSample {
-  SimTime at;
-  double latency_ms;
+  // Client fleet override. Unset: the legacy closed loop — one client per
+  // replica, one outstanding request, request_interval think time, f + 1
+  // replies, unbounded batches (the BFT-SMaRt drain-the-queue behavior).
+  std::optional<WorkloadOptions> workload;
 };
 
 class PbftHarness;
@@ -101,26 +102,6 @@ class PbftReplica : public Actor {
   std::unique_ptr<SuspicionSensor> sensor_;  // OptiAware only
 };
 
-class PbftClient : public Actor {
- public:
-  PbftClient(ReplicaId id, PbftHarness* harness) : id_(id), harness_(harness) {}
-
-  void OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) override;
-  // Think-time expiry: issue the next closed-loop request.
-  void OnTimer(uint64_t tag, SimTime at) override;
-  void SendNext(SimTime at);
-
-  const std::vector<ClientSample>& samples() const { return samples_; }
-
- private:
-  const ReplicaId id_;
-  PbftHarness* harness_;
-  uint64_t next_request_ = 0;
-  SimTime current_sent_at_ = 0;
-  uint32_t replies_ = 0;
-  std::vector<ClientSample> samples_;
-};
-
 class PbftHarness : public ConsensusEngine, public TimerTarget {
  public:
   PbftHarness(Simulator* sim, Network* net, const KeyStore* keys, PbftOptions opts);
@@ -138,7 +119,8 @@ class PbftHarness : public ConsensusEngine, public TimerTarget {
   const RoleConfig& config() const { return config_; }
   const WeightScheme& scheme() const { return space_.scheme(); }
   const PbftOptions& options() const { return opts_; }
-  const PbftClient& client(uint32_t i) const { return *clients_.at(i); }
+  const WorkloadClient& client(uint32_t i) const { return fleet_->client(i); }
+  const ClientFleet& fleet() const { return *fleet_; }
   Simulator* sim() { return sim_; }
 
   uint64_t committed_instances() const { return committed_instances_; }
@@ -150,17 +132,13 @@ class PbftHarness : public ConsensusEngine, public TimerTarget {
 
  private:
   friend class PbftReplica;
-  friend class PbftClient;
 
   static constexpr uint64_t kTimerProbeRound = 1;
   static constexpr uint64_t kTimerAwareOptimize = 2;
 
-  ReplicaId ClientId(uint32_t i) const { return opts_.n + i; }
-  bool IsClient(ReplicaId id) const { return id >= opts_.n; }
-
   void ProposeNext(SimTime now);
   void OnCommitAtLeader(uint64_t seq, uint32_t batch_size);
-  void SubmitRequest(const RequestRef& req);
+  void OnClientRequest(ReplicaId receiver, const MessagePtr& msg);
   void RunProbeRound();
   void RunAwareOptimization();
   // Commit-order measurement bus: sensor emissions are signed, appended to
@@ -180,12 +158,14 @@ class PbftHarness : public ConsensusEngine, public TimerTarget {
   AwareConfigSpace space_;
   RoleConfig config_;
   std::vector<std::unique_ptr<PbftReplica>> replicas_;
-  std::vector<std::unique_ptr<PbftClient>> clients_;
+  // The client side and the leader's request queue come from the shared
+  // workload layer; only the propose-on-idle trigger below is PBFT's own.
+  std::unique_ptr<RequestQueue> queue_;
+  std::unique_ptr<ClientFleet> fleet_;
 
   Log log_;
   std::unique_ptr<Pipeline> pipeline_;
 
-  std::deque<RequestRef> pending_requests_;
   uint64_t next_seq_ = 0;
   bool instance_open_ = false;
   bool started_ = false;

@@ -57,6 +57,30 @@ class ThroughputRecorder {
   uint64_t total_ = 0;
 };
 
+// Client-side traffic accounting, filled when a deployment runs a workload
+// (ClientFleet + leader-side RequestQueue; see src/workload/). All zeros
+// with `enabled == false` for self-driven runs. Latency percentiles are the
+// honest end-to-end numbers: stamped at the client from its original send to
+// the reply the leader issues at the commit boundary.
+struct WorkloadReport {
+  bool enabled = false;
+  uint64_t requests_sent = 0;       // client sends (first attempts)
+  uint64_t requests_completed = 0;  // reached their reply quorum
+  uint64_t requests_retried = 0;    // re-sent after a retry timeout
+  uint64_t requests_abandoned = 0;  // open-loop tracking window overflow
+  uint64_t requests_accepted = 0;   // admitted to the leader queue
+  uint64_t requests_dropped = 0;    // backpressure: leader queue overflow
+  uint64_t requests_deduped = 0;    // duplicate deliveries (retries/forwards)
+  uint64_t batches_size_triggered = 0;      // proposed on the size trigger
+  uint64_t batches_deadline_triggered = 0;  // proposed on the deadline trigger
+  uint64_t batches_idle_triggered = 0;      // proposed on idle (PBFT's trigger)
+  size_t peak_queue_depth = 0;
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+
 // Protocol-agnostic snapshot of a run's outcome: what every ConsensusEngine
 // reports regardless of whether "committed" counts tree blocks or PBFT
 // instances. Benches and tests consume this instead of reaching into
@@ -81,25 +105,33 @@ struct MetricsReport {
   // traffic rode the typed (closure-free) lanes, and how fast the core
   // drained it in wall-clock terms.
   EventCoreStats event_core;
+  // Client traffic accounting; enabled only when the engine serves a
+  // workload instead of self-driving proposals.
+  WorkloadReport workload;
 
   double MeanOps(size_t from_sec, size_t to_sec) const {
     return MeanOpsPerSec(throughput_per_sec, from_sec, to_sec);
   }
 };
 
-// Consensus latency samples (proposal sent -> block committed), in ms.
+// Consensus latency accumulator (proposal sent -> block committed). A
+// Welford accumulator carries the exact mean/CI; the fixed log-bucket
+// histogram carries percentiles at O(1) record cost and bounded memory, so
+// recording millions of commits costs the same as recording a hundred.
 class LatencyRecorder {
  public:
   void Record(SimTime proposed_at, SimTime committed_at) {
-    samples_ms_.push_back(ToMs(committed_at - proposed_at));
-    stat_.Add(samples_ms_.back());
+    const SimTime delta = committed_at - proposed_at;
+    stat_.Add(ToMs(delta));
+    hist_.RecordUs(delta > 0 ? static_cast<uint64_t>(delta) : 0);
   }
 
-  const std::vector<double>& samples_ms() const { return samples_ms_; }
   const RunningStat& stat() const { return stat_; }
+  const LatencyHistogram& histogram() const { return hist_; }
+  double Percentile(double pct) const { return hist_.PercentileMs(pct); }
 
  private:
-  std::vector<double> samples_ms_;
+  LatencyHistogram hist_;
   RunningStat stat_;
 };
 

@@ -181,6 +181,23 @@ std::string MetricsFingerprint(const MetricsReport& m) {
   u(m.event_core.cancellations);
   u(m.event_core.peak_slab_slots);
   u(m.event_core.peak_pending);
+  blob += "|";
+  u(m.workload.enabled ? 1 : 0);
+  u(m.workload.requests_sent);
+  u(m.workload.requests_completed);
+  u(m.workload.requests_retried);
+  u(m.workload.requests_abandoned);
+  u(m.workload.requests_accepted);
+  u(m.workload.requests_dropped);
+  u(m.workload.requests_deduped);
+  u(m.workload.batches_size_triggered);
+  u(m.workload.batches_deadline_triggered);
+  u(m.workload.batches_idle_triggered);
+  u(m.workload.peak_queue_depth);
+  blob += FormatDouble(m.workload.latency_mean_ms) + "|";
+  blob += FormatDouble(m.workload.latency_p50_ms) + "|";
+  blob += FormatDouble(m.workload.latency_p95_ms) + "|";
+  blob += FormatDouble(m.workload.latency_p99_ms) + "|";
   return DigestHex(Sha256::Hash(blob));
 }
 

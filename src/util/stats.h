@@ -1,10 +1,13 @@
 // Small online-statistics helpers used by the benchmark harnesses to report
-// means and 95% confidence intervals the way the paper's plots do.
+// means and 95% confidence intervals the way the paper's plots do, plus the
+// fixed-size log-bucket histogram behind every latency percentile.
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -48,18 +51,115 @@ class RunningStat {
   double max_ = 0.0;
 };
 
-// Percentile of a sample (linear interpolation); pct in [0, 100].
-inline double Percentile(std::vector<double> xs, double pct) {
-  if (xs.empty()) {
+// Percentile of an already-sorted sample (linear interpolation); pct is
+// clamped to [0, 100]. Sort once, then query as many percentiles as needed —
+// this is the per-query half of the old sort-copying Percentile.
+inline double SortedPercentile(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) {
     return 0.0;
   }
-  std::sort(xs.begin(), xs.end());
-  const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+  pct = std::clamp(pct, 0.0, 100.0);
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
+
+// Convenience for a single query on unsorted data. Callers that need several
+// percentiles should sort once and use SortedPercentile per query.
+inline double Percentile(std::vector<double> xs, double pct) {
+  std::sort(xs.begin(), xs.end());
+  return SortedPercentile(xs, pct);
+}
+
+// Fixed-size log-bucket histogram over non-negative integer durations in
+// microseconds (HDR-histogram style). Values up to 2^kSubBits land in exact
+// unit buckets; above that, each power-of-two range splits into 2^kSubBits
+// geometric sub-buckets, bounding the relative quantization error at
+// 2^-kSubBits (~3%). Record is O(1), memory is a fixed ~15 KB regardless of
+// sample count — the property that lets a client fleet record millions of
+// requests — and the bucket math is pure integer, so percentiles are
+// bit-reproducible across platforms.
+class LatencyHistogram {
+ public:
+  void RecordUs(uint64_t us) {
+    ++counts_[BucketOf(us)];
+    ++count_;
+    max_us_ = std::max(max_us_, us);
+  }
+
+  uint64_t count() const { return count_; }
+  double max_ms() const { return static_cast<double>(max_us_) / 1000.0; }
+
+  // Percentile in milliseconds; pct clamped to [0, 100]. Walks the fixed
+  // bucket array (O(buckets), independent of sample count) and interpolates
+  // linearly inside the hit bucket.
+  double PercentileMs(double pct) const {
+    if (count_ == 0) {
+      return 0.0;
+    }
+    pct = std::clamp(pct, 0.0, 100.0);
+    // Rank of the target sample, 1-based; pct = 0 means the first sample.
+    const uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(pct / 100.0 * static_cast<double>(count_) + 0.5));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      if (counts_[b] == 0) {
+        continue;
+      }
+      if (seen + counts_[b] >= target) {
+        const double lo = static_cast<double>(LowerBoundUs(b));
+        const double hi = static_cast<double>(UpperBoundUs(b));
+        const double frac = (static_cast<double>(target - seen) - 0.5) /
+                            static_cast<double>(counts_[b]);
+        return (lo + (hi - lo) * frac) / 1000.0;
+      }
+      seen += counts_[b];
+    }
+    return max_ms();  // unreachable unless counts_ and count_ disagree
+  }
+
+ private:
+  static constexpr int kSubBits = 5;  // 32 sub-buckets per octave
+  static constexpr size_t kSub = size_t{1} << kSubBits;
+  // Exponents kSubBits..63 each contribute kSub sub-buckets after the exact
+  // low range [0, 2^kSubBits).
+  static constexpr size_t kBuckets = kSub + (64 - kSubBits) * kSub;
+
+  static size_t BucketOf(uint64_t us) {
+    if (us < kSub) {
+      return static_cast<size_t>(us);
+    }
+    const int exp = std::bit_width(us) - 1;  // >= kSubBits
+    const uint64_t sub = (us >> (exp - kSubBits)) & (kSub - 1);
+    return kSub + static_cast<size_t>(exp - kSubBits) * kSub +
+           static_cast<size_t>(sub);
+  }
+
+  static uint64_t LowerBoundUs(size_t bucket) {
+    if (bucket < kSub) {
+      return bucket;
+    }
+    const size_t rel = bucket - kSub;
+    const int exp = kSubBits + static_cast<int>(rel / kSub);
+    const uint64_t sub = rel % kSub;
+    return (uint64_t{1} << exp) + (sub << (exp - kSubBits));
+  }
+
+  static uint64_t UpperBoundUs(size_t bucket) {
+    if (bucket < kSub) {
+      return bucket + 1;
+    }
+    const size_t rel = bucket - kSub;
+    const int exp = kSubBits + static_cast<int>(rel / kSub);
+    return LowerBoundUs(bucket) + (uint64_t{1} << (exp - kSubBits));
+  }
+
+  uint64_t counts_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t max_us_ = 0;
+};
 
 inline double Mean(const std::vector<double>& xs) {
   if (xs.empty()) {

@@ -1,0 +1,52 @@
+// Client-facing wire messages shared by every protocol family.
+//
+// A client issues a ClientRequestMsg to its target replica; replicas that do
+// not currently hold the leader/root role forward it (same immutable message)
+// to the one that does. The serving replica answers with one ClientReplyMsg
+// per request at the commit boundary; the client counts replies until its
+// quorum (f + 1 for the PBFT family, the root's single commit-stamped reply
+// for the tree family) and measures end-to-end latency from the original
+// send. Sizes model signed request/reply headers (BFT-SMaRt style).
+#pragma once
+
+#include "src/crypto/signature.h"
+#include "src/sim/message.h"
+#include "src/sim/time.h"
+
+namespace optilog {
+
+enum WorkloadMsgType {
+  kMsgClientRequest = 30,
+  kMsgClientReply = 31,
+};
+
+// What a leader's request queue and a proposal batch carry per request.
+struct RequestRef {
+  ReplicaId client = kNoReplica;
+  uint64_t request_id = 0;
+  SimTime sent_at = 0;  // the client's original send (retries keep it)
+};
+
+struct ClientRequestMsg : Message {
+  ReplicaId client = kNoReplica;
+  uint64_t request_id = 0;
+  SimTime sent_at = 0;
+  size_t payload_bytes = 0;
+
+  int type() const override { return kMsgClientRequest; }
+  size_t WireSize() const override {
+    return 24 + payload_bytes + kSignatureSize;
+  }
+  std::string Name() const override { return "Request"; }
+};
+
+struct ClientReplyMsg : Message {
+  uint64_t request_id = 0;
+  uint64_t seq = 0;  // committed block / instance
+
+  int type() const override { return kMsgClientReply; }
+  size_t WireSize() const override { return 16 + kSignatureSize; }
+  std::string Name() const override { return "Reply"; }
+};
+
+}  // namespace optilog

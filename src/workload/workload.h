@@ -1,0 +1,177 @@
+// Traffic generation: the client side of the system (§7.3's "clients issue
+// requests ... throughput and end-to-end latency under client load").
+//
+// A ClientFleet owns `clients` WorkloadClient actors registered on the
+// network at ids n .. n + clients - 1 (the deployment colocates them with
+// replica cities round-robin). Clients ride the typed event lanes only —
+// arrivals and retries are Timer tags, requests and replies are Deliveries —
+// so a workload-driven run schedules zero closure events and keeps the
+// event core's determinism invariant byte for byte (see DESIGN.md).
+//
+// Arrival processes:
+//   - kClosedLoop: each client keeps `outstanding` requests in flight and
+//     thinks for `think_time` after each completion (BFT-SMaRt-style).
+//   - kOpenRate: constant-rate arrivals at `rate_per_client` req/s,
+//     staggered evenly across the fleet.
+//   - kOpenPoisson: exponential interarrivals drawn from the seeded Rng
+//     (deterministic log implementation — no libm, so schedules are
+//     bit-identical across toolchains).
+// Scripted phases scale the open-loop rate over time (bursty ramps, diurnal
+// patterns); the last phase's scale persists.
+//
+// Completion: a request is complete when `replies_needed` distinct replies
+// arrive; the client stamps end-to-end latency from its *original* send (a
+// retry does not reset the clock) into the fleet's fixed-size histogram.
+// With `retry_timeout` set, an unanswered request is re-sent to the next
+// replica id — how a fleet survives the crash of its target replica; the
+// leader-side RequestQueue deduplicates, so re-routes never double-commit.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/rsm/metrics.h"
+#include "src/util/rng.h"
+#include "src/workload/messages.h"
+#include "src/workload/request_queue.h"
+
+namespace optilog {
+
+enum class ArrivalProcess { kClosedLoop, kOpenRate, kOpenPoisson };
+
+// One scripted phase: the open-loop rate is scaled by `rate_scale` for
+// `duration`; phases run in order and the last scale persists.
+struct WorkloadPhase {
+  SimTime duration = 0;
+  double rate_scale = 1.0;
+};
+
+struct WorkloadOptions {
+  uint32_t clients = 0;  // 0 = one per replica (filled by the deployment)
+  ArrivalProcess arrival = ArrivalProcess::kClosedLoop;
+  // Closed loop:
+  uint32_t outstanding = 1;      // requests in flight per client
+  SimTime think_time = 0;        // pause after each completion
+  // Open loop (per client, at phase scale 1):
+  double rate_per_client = 100.0;  // requests per second
+  std::vector<WorkloadPhase> phases;
+  size_t request_bytes = 64;
+  uint32_t replies_needed = 0;  // 0 = protocol default (tree: 1, PBFT: f+1)
+  SimTime retry_timeout = 0;    // 0 = never re-send
+  // Re-sends per request before the client abandons it (counted in
+  // requests_abandoned; a closed-loop client moves on to its next request).
+  // Bounds the retry storm a dropped request can cause: once the leader's
+  // dedup window has pruned past an id, its retries can never be admitted.
+  uint32_t max_retries = 16;
+  bool record_samples = true;   // keep the per-client (at, latency) series
+  uint64_t seed = 1;
+  BatchPolicy batch;  // leader-side batching (see request_queue.h)
+};
+
+struct ClientSample {
+  SimTime at;
+  double latency_ms;
+};
+
+class ClientFleet;
+
+// One client actor. All its events are typed: arrivals and think-time
+// expiries fire under tag 0, the retry timer of request `id` under id + 1.
+class WorkloadClient : public Actor {
+ public:
+  WorkloadClient(ReplicaId id, uint32_t index, ClientFleet* fleet, Rng rng)
+      : id_(id), index_(index), fleet_(fleet), rng_(rng) {}
+
+  void OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) override;
+  void OnTimer(uint64_t tag, SimTime at) override;
+
+  ReplicaId id() const { return id_; }
+  const std::vector<ClientSample>& samples() const { return samples_; }
+
+ private:
+  friend class ClientFleet;
+  static constexpr uint64_t kTagArrival = 0;
+
+  void Start(SimTime now);
+  void StartNewRequest(SimTime now);
+  void SendAttempt(uint64_t request_id, SimTime now);
+  void ScheduleNextArrival(SimTime now);
+  SimTime Interarrival(SimTime now);
+
+  struct Outstanding {
+    SimTime sent_at = 0;
+    uint32_t replies = 0;
+    uint32_t attempts = 1;
+    ReplicaId target = kNoReplica;
+    EventId retry = kNoEvent;
+  };
+
+  const ReplicaId id_;
+  const uint32_t index_;
+  ClientFleet* fleet_;
+  Rng rng_;
+  uint64_t next_request_ = 0;
+  std::map<uint64_t, Outstanding> outstanding_;
+  std::vector<ClientSample> samples_;
+};
+
+class ClientFleet {
+ public:
+  // `route` names the replica new requests target (the current leader /
+  // tree root); retries cycle through the other replica ids from there.
+  ClientFleet(Simulator* sim, Network* net, uint32_t n, WorkloadOptions opts,
+              std::function<ReplicaId()> route);
+
+  // Issues the initial requests / schedules the first arrivals, in client
+  // index order (deterministic).
+  void Start();
+
+  uint32_t size() const { return static_cast<uint32_t>(clients_.size()); }
+  const WorkloadClient& client(uint32_t i) const { return *clients_.at(i); }
+  const WorkloadOptions& options() const { return opts_; }
+
+  // Client-side half of the report (sent/completed/retried/abandoned plus
+  // the latency percentiles); the harness adds its RequestQueue's half.
+  void FillReport(WorkloadReport& report) const;
+
+  uint64_t completed() const { return completed_; }
+  const LatencyHistogram& latency_histogram() const { return latency_hist_; }
+
+ private:
+  friend class WorkloadClient;
+
+  double RateScaleAt(SimTime t) const;
+  void RecordCompletion(SimTime delta_us_signed);
+
+  Simulator* sim_;
+  Network* net_;
+  const uint32_t n_;
+  WorkloadOptions opts_;
+  std::function<ReplicaId()> route_;
+  std::vector<std::unique_ptr<WorkloadClient>> clients_;
+  std::vector<std::pair<SimTime, double>> phase_ends_;  // (end, scale)
+
+  uint64_t sent_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t retried_ = 0;
+  uint64_t abandoned_ = 0;
+  LatencyHistogram latency_hist_;
+  RunningStat latency_stat_;
+};
+
+// Folds a leader-side queue's accounting into the report next to the
+// fleet's client-side half.
+inline void FillQueueReport(const RequestQueue& queue, WorkloadReport& report) {
+  report.requests_accepted = queue.accepted();
+  report.requests_dropped = queue.dropped();
+  report.requests_deduped = queue.duplicates();
+  report.peak_queue_depth = queue.peak_depth();
+  report.batches_size_triggered = queue.batches_size_triggered();
+  report.batches_deadline_triggered = queue.batches_deadline_triggered();
+  report.batches_idle_triggered = queue.batches_idle_triggered();
+}
+
+}  // namespace optilog

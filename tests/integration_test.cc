@@ -21,14 +21,17 @@ TEST(ThroughputRecorder, BucketsBySecond) {
   EXPECT_DOUBLE_EQ(rec.MeanOps(5, 3), 0.0);
 }
 
-TEST(LatencyRecorder, ConvertsToMs) {
+TEST(LatencyRecorder, ConvertsToMsAndServesPercentiles) {
   LatencyRecorder rec;
   rec.Record(0, 250 * kMsec);
   rec.Record(100 * kMsec, 150 * kMsec);
-  EXPECT_EQ(rec.samples_ms().size(), 2u);
-  EXPECT_DOUBLE_EQ(rec.samples_ms()[0], 250.0);
-  EXPECT_DOUBLE_EQ(rec.samples_ms()[1], 50.0);
+  EXPECT_EQ(rec.histogram().count(), 2u);
   EXPECT_DOUBLE_EQ(rec.stat().mean(), 150.0);
+  EXPECT_DOUBLE_EQ(rec.stat().min(), 50.0);
+  EXPECT_DOUBLE_EQ(rec.stat().max(), 250.0);
+  // Histogram-backed percentiles: exact up to the ~3% bucket resolution.
+  EXPECT_NEAR(rec.Percentile(0), 50.0, 50.0 * 0.04);
+  EXPECT_NEAR(rec.Percentile(100), 250.0, 250.0 * 0.04);
 }
 
 TEST(TreeTopology, StarConfigRoundTrip) {

@@ -104,23 +104,24 @@ TEST(RunnerGrid, EmptyGridIsOnePointAndExplicitPointsWin) {
 
 // --- Registry ----------------------------------------------------------------
 
-TEST(ScenarioRegistryTest, AllElevenBenchesPlusChurnRegistered) {
+TEST(ScenarioRegistryTest, AllElevenBenchesPlusWorkloadsRegistered) {
   const auto& registry = ScenarioRegistry::Instance();
-  // The former standalone binaries, now registrations (EXPERIMENTS.md).
+  // The former standalone binaries, now registrations (EXPERIMENTS.md),
+  // plus the post-paper workloads (crash churn, saturation, bursty phases).
   for (const char* name :
        {"fig07_runtime_attack", "fig08_mis_scaling", "fig09_baselines",
         "fig10_suspicion_attack", "fig11_malicious_delay",
         "fig12_sa_search_time", "fig13_proposal_size", "fig14_overprovision",
         "fig15_reconfig_timeline", "ablation_candidate_policy",
         "ablation_u_estimate", "ablation_cooling", "scale_events",
-        "crash_churn"}) {
+        "crash_churn", "saturation", "bursty_phases"}) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }
   EXPECT_EQ(registry.Find("no_such_scenario"), nullptr);
 
   // All() is name-sorted (stable --list output).
   const auto all = registry.All();
-  EXPECT_GE(all.size(), 14u);
+  EXPECT_GE(all.size(), 16u);
   for (size_t i = 1; i < all.size(); ++i) {
     EXPECT_LT(all[i - 1]->name, all[i]->name);
   }

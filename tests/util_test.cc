@@ -147,6 +147,61 @@ TEST(Percentile, Extremes) {
   EXPECT_DOUBLE_EQ(Percentile({3, 1, 2}, 100), 3.0);
 }
 
+TEST(Percentile, ClampsOutOfRangePct) {
+  EXPECT_DOUBLE_EQ(Percentile({3, 1, 2}, -10), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({3, 1, 2}, 250), 3.0);
+}
+
+TEST(Percentile, SortedQueriesShareOneSort) {
+  std::vector<double> xs = {5, 1, 4, 2, 3};
+  std::sort(xs.begin(), xs.end());
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile({}, 50), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesWithinBucketResolution) {
+  // Uniform 1..10'000 ms (recorded in us): every percentile must land
+  // within the ~3% relative quantization of the log buckets.
+  LatencyHistogram h;
+  for (uint64_t ms = 1; ms <= 10'000; ++ms) {
+    h.RecordUs(ms * 1000);
+  }
+  EXPECT_EQ(h.count(), 10'000u);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 10'000.0);
+  for (double pct : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double exact = pct / 100.0 * 10'000.0;
+    EXPECT_NEAR(h.PercentileMs(pct), exact, exact * 0.04) << pct;
+  }
+  // Out-of-range pct clamps instead of misbehaving.
+  EXPECT_NEAR(h.PercentileMs(1000.0), 10'000.0, 10'000.0 * 0.04);
+  EXPECT_GT(h.PercentileMs(-5.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, BoundedMemoryAtMillionsOfSamples) {
+  // The histogram is a fixed array: sizeof is a compile-time constant and
+  // recording millions of samples allocates nothing.
+  static_assert(sizeof(LatencyHistogram) < 32 * 1024);
+  LatencyHistogram h;
+  for (int i = 0; i < 2'000'000; ++i) {
+    h.RecordUs(static_cast<uint64_t>(i) % 1'000'000);
+  }
+  EXPECT_EQ(h.count(), 2'000'000u);
+  const double exact_p50 = 500.0;  // uniform over [0, 1000) ms
+  EXPECT_NEAR(h.PercentileMs(50.0), exact_p50, exact_p50 * 0.04);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  h.RecordUs(0);
+  h.RecordUs(7);
+  h.RecordUs(31);  // the last exact unit bucket (2^5 - 1)
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.PercentileMs(100.0), 0.0315, 0.0005);
+  EXPECT_LT(h.PercentileMs(0.0), 0.001);
+}
+
 TEST(Bytes, RoundTripIntegers) {
   Bytes buf;
   ByteWriter w(&buf);

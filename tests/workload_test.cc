@@ -1,0 +1,295 @@
+// The workload layer (src/workload/): leader-side request queue admission,
+// open/closed-loop client fleets on the typed event lanes, adaptive
+// batching in TreeRsm, re-routing after a target-replica crash, and the
+// thread-count determinism of workload-driven sweeps.
+#include <gtest/gtest.h>
+
+#include "src/api/deployment.h"
+#include "src/runner/runner.h"
+#include "src/workload/request_queue.h"
+
+namespace optilog {
+namespace {
+
+// --- RequestQueue ------------------------------------------------------------
+
+TEST(RequestQueueTest, AdmissionDedupAndOverflow) {
+  BatchPolicy policy;
+  policy.max_batch = 2;
+  policy.max_queue = 3;
+  RequestQueue q(policy);
+
+  EXPECT_EQ(q.Push({7, 0, 0}, 10), RequestQueue::Admit::kAccepted);
+  EXPECT_EQ(q.Push({7, 0, 0}, 11), RequestQueue::Admit::kDuplicate);  // retry
+  EXPECT_EQ(q.Push({7, 1, 0}, 12), RequestQueue::Admit::kAccepted);
+  EXPECT_EQ(q.Push({8, 0, 0}, 13), RequestQueue::Admit::kAccepted);
+  EXPECT_EQ(q.Push({8, 1, 0}, 14), RequestQueue::Admit::kDropped);  // full
+  EXPECT_EQ(q.accepted(), 3u);
+  EXPECT_EQ(q.duplicates(), 1u);
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.peak_depth(), 3u);
+  EXPECT_EQ(q.front_enqueued_at(), 10);
+
+  // FIFO pop, capped at max_batch; the caller names the trigger.
+  const auto first = q.PopBatch(20, BatchTrigger::kSize);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].client, 7u);
+  EXPECT_EQ(first[0].request_id, 0u);
+  EXPECT_EQ(first[1].request_id, 1u);
+  EXPECT_EQ(q.batches_size_triggered(), 1u);
+  const auto second = q.PopBatch(21, BatchTrigger::kDeadline);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(q.batches_deadline_triggered(), 1u);
+  EXPECT_EQ(q.batches_idle_triggered(), 0u);
+  EXPECT_TRUE(q.empty());
+
+  // A duplicate of a popped (still-windowed) request stays rejected.
+  EXPECT_EQ(q.Push({7, 0, 0}, 30), RequestQueue::Admit::kDuplicate);
+}
+
+TEST(RequestQueueTest, RequeuePreservesOrderWithoutRecounting) {
+  RequestQueue q(BatchPolicy{});
+  q.Push({1, 0, 0}, 0);
+  q.Push({1, 1, 0}, 1);
+  q.Push({1, 2, 0}, 2);
+  auto batch = q.PopBatch(5, BatchTrigger::kDeadline);
+  ASSERT_EQ(batch.size(), 3u);
+  // The round failed: the batch returns to the FRONT, oldest first, and
+  // `accepted` does not move (committed at most once per admission).
+  q.Push({1, 3, 0}, 6);
+  q.Requeue(std::move(batch), 7);
+  EXPECT_EQ(q.accepted(), 4u);
+  const auto again = q.PopBatch(8, BatchTrigger::kDeadline);
+  ASSERT_EQ(again.size(), 4u);
+  EXPECT_EQ(again[0].request_id, 0u);
+  EXPECT_EQ(again[1].request_id, 1u);
+  EXPECT_EQ(again[2].request_id, 2u);
+  EXPECT_EQ(again[3].request_id, 3u);
+}
+
+// --- Closed-loop fleets on the tree family ------------------------------------
+
+std::unique_ptr<Deployment> KauriWithWorkload(WorkloadOptions w,
+                                              TreeRsmOptions topts = {}) {
+  return Deployment::Builder()
+      .WithGeo(Europe21())
+      .WithProtocol(Protocol::kKauri)
+      .WithSeed(9)
+      .WithTreeOptions(topts)
+      .WithWorkload(w)
+      .Build();
+}
+
+TEST(WorkloadTree, ClosedLoopServesRequestsOnTypedLanesOnly) {
+  WorkloadOptions w;
+  w.clients = 8;
+  w.think_time = 20 * kMsec;
+  w.batch.max_batch = 4;
+  w.batch.max_delay = 10 * kMsec;
+  auto d = KauriWithWorkload(w);
+  d->Start();
+  d->RunUntil(20 * kSec);
+
+  const MetricsReport m = d->Metrics();
+  EXPECT_TRUE(m.workload.enabled);
+  EXPECT_GT(m.committed, 20u);
+  EXPECT_GT(m.workload.requests_completed, 100u);
+  EXPECT_LE(m.workload.requests_completed, m.workload.requests_sent);
+  // Every committed command is an admitted client request (no self-driving,
+  // no double-commits), and every admitted request came from the fleet. The
+  // run stops mid-flight, so commits may lead completions by at most the
+  // fleet's outstanding window (replies still on the wire).
+  EXPECT_GE(m.total_commands, m.workload.requests_completed);
+  EXPECT_LE(m.total_commands, m.workload.requests_completed + w.clients);
+  EXPECT_LE(m.total_commands, m.workload.requests_accepted);
+  // Honest end-to-end latency: a Europe-wide tree round trip, not zero.
+  EXPECT_GT(m.workload.latency_p50_ms, 10.0);
+  EXPECT_GE(m.workload.latency_p99_ms, m.workload.latency_p50_ms);
+  EXPECT_GT(m.workload.batches_size_triggered +
+                m.workload.batches_deadline_triggered,
+            0u);
+  // The whole client path (arrivals, requests, replies, think timers) rides
+  // the typed lanes: zero closures, as in every protocol hot path.
+  EXPECT_EQ(m.event_core.closure_events, 0u);
+  EXPECT_GT(m.event_core.typed_timers, 0u);
+}
+
+TEST(WorkloadTree, ClosedLoopClientCountSaturatesThroughputMonotonically) {
+  // Capacity is bounded by max_batch per round with pipeline depth 1: more
+  // closed-loop clients raise throughput until the batch cap saturates it,
+  // after which extra clients only buy queueing delay (p99 grows).
+  TreeRsmOptions topts;
+  topts.pipeline_depth = 1;
+  double ops[3];
+  double p99[3];
+  const uint32_t client_counts[3] = {4, 32, 128};
+  for (int i = 0; i < 3; ++i) {
+    WorkloadOptions w;
+    w.clients = client_counts[i];
+    w.think_time = 0;
+    w.batch.max_batch = 16;
+    w.batch.max_delay = 5 * kMsec;
+    auto d = KauriWithWorkload(w, topts);
+    d->Start();
+    d->RunUntil(20 * kSec);
+    const MetricsReport m = d->Metrics();
+    ops[i] = m.MeanOps(1, 20);
+    p99[i] = m.workload.latency_p99_ms;
+    EXPECT_GT(m.workload.requests_completed, 0u) << client_counts[i];
+  }
+  // Below saturation: more clients, more throughput.
+  EXPECT_GT(ops[1], ops[0] * 1.5);
+  // At saturation: throughput monotone (never collapses) but flat...
+  EXPECT_GE(ops[2], ops[1] * 0.95);
+  EXPECT_LE(ops[2], ops[1] * 1.25);
+  // ...while the extra clients pay in queueing delay.
+  EXPECT_GT(p99[2], p99[1] * 1.5);
+}
+
+// --- Re-routing after the target replica crashes -------------------------------
+
+TEST(WorkloadTree, CrashedTargetReplicaReroutesWithoutDoubleCounting) {
+  // Clients target the root; the root crashes mid-run. The OptiLog loop
+  // elects a new tree while client retries probe other replicas, which
+  // forward to the new root. The leader-side dedup window guarantees a
+  // re-sent request is never committed twice.
+  WorkloadOptions w;
+  w.clients = 10;
+  w.think_time = 10 * kMsec;
+  w.retry_timeout = 500 * kMsec;  // several probes fit inside the recovery
+  w.batch.max_batch = 32;
+  w.batch.max_delay = 10 * kMsec;
+  TreeRsmOptions topts;
+  topts.pipeline_depth = 2;
+
+  ReplicaId first_root = kNoReplica;
+  auto d = Deployment::Builder()
+               .WithGeo(Europe21())
+               .WithProtocol(Protocol::kOptiTree)
+               .WithSeed(11)
+               .WithInitialSearch(AnnealingParams::ForBudget(2000))
+               .WithTreeOptions(topts)
+               .WithWorkload(w)
+               .WithOptiLogReconfig(/*search_window=*/500 * kMsec)
+               .WithFaults([&first_root](Deployment& dep) {
+                 first_root = dep.tree().topology().root();
+                 dep.faults().Mutable(first_root).crash_at = 10 * kSec;
+               })
+               .Build();
+  d->Start();
+  d->RunUntil(40 * kSec);
+
+  const MetricsReport m = d->Metrics();
+  ASSERT_NE(d->tree().topology().root(), first_root);
+  EXPECT_GE(m.reconfigurations, 1u);
+  // Clients noticed the dead target and re-routed.
+  EXPECT_GT(m.workload.requests_retried, 0u);
+  EXPECT_GT(m.workload.requests_deduped, 0u);  // retries caught by the window
+  // Service resumed on the new root: completions recorded after recovery.
+  uint64_t completed_after_crash = 0;
+  for (uint32_t c = 0; c < w.clients; ++c) {
+    for (const ClientSample& s : d->tree().fleet()->client(c).samples()) {
+      if (s.at > 15 * kSec) {
+        ++completed_after_crash;
+      }
+    }
+  }
+  EXPECT_GT(completed_after_crash, 50u);
+  // No double counting: every committed command maps to one admitted
+  // request, and commits never exceed admissions even with retries and
+  // requeued batches in play.
+  EXPECT_LE(m.total_commands, m.workload.requests_accepted);
+  EXPECT_GE(m.total_commands, m.workload.requests_completed);
+  EXPECT_EQ(m.event_core.closure_events, 0u);
+}
+
+// --- PBFT family on the shared layer ------------------------------------------
+
+TEST(WorkloadPbft, CustomFleetOverridesLegacyClosedLoop) {
+  PbftOptions popts;
+  popts.optimize_at = 5 * kSec;
+  WorkloadOptions w;
+  w.clients = 6;  // fewer clients than replicas
+  w.arrival = ArrivalProcess::kOpenRate;
+  w.rate_per_client = 10.0;
+  auto d = Deployment::Builder()
+               .WithGeo(Europe21())
+               .WithProtocol(Protocol::kPbft)
+               .WithPbftOptions(popts)
+               .WithWorkload(w)
+               .Build();
+  d->Start();
+  d->RunUntil(10 * kSec);
+  const MetricsReport m = d->Metrics();
+  EXPECT_EQ(d->pbft().fleet().size(), 6u);
+  // ~6 clients x 10 req/s x 10 s, minus the tail in flight.
+  EXPECT_GT(m.workload.requests_sent, 500u);
+  EXPECT_GT(m.workload.requests_completed, 450u);
+  EXPECT_GT(m.workload.latency_p50_ms, 1.0);
+  // PBFT proposes on idle, not on a deadline timer.
+  EXPECT_GT(m.workload.batches_idle_triggered, 0u);
+  EXPECT_EQ(m.workload.batches_deadline_triggered, 0u);
+  EXPECT_EQ(m.event_core.closure_events, 0u);
+}
+
+// --- Determinism: workload sweeps are thread-count invariant -------------------
+
+Scenario PoissonMiniSweep() {
+  Scenario s;
+  s.name = "test_workload_poisson_sweep";
+  s.columns = {"rate", "seed", "completed", "p99_ms"};
+  s.grid = {{"rate", {"50", "200"}}, {"seed", {"3", "4"}}};
+  WorkloadOptions base;
+  base.clients = 6;
+  base.arrival = ArrivalProcess::kOpenPoisson;
+  base.batch.max_batch = 32;
+  base.batch.max_delay = 10 * kMsec;
+  s.run = [base](const Params& p) {
+    WorkloadOptions w = base;
+    w.rate_per_client = p.GetDouble("rate") / 6.0;
+    auto d = Deployment::Builder()
+                 .WithGeo(Europe21())
+                 .WithProtocol(Protocol::kKauri)
+                 .WithSeed(static_cast<uint64_t>(p.GetInt("seed")))
+                 .WithWorkload(w)
+                 .Build();
+    d->Start();
+    d->RunUntil(8 * kSec);
+    const MetricsReport m = d->Metrics();
+    PointResult pr;
+    pr.rows.push_back({p.Get("rate"), p.Get("seed"),
+                       std::to_string(m.workload.requests_completed),
+                       FormatDouble(m.workload.latency_p99_ms)});
+    pr.metrics = {
+        {"completed", static_cast<double>(m.workload.requests_completed)},
+        {"p99_ms", m.workload.latency_p99_ms}};
+    pr.event_core = m.event_core;
+    pr.event_core.wall_seconds = 0.0;
+    pr.digest = MetricsFingerprint(m);
+    return pr;
+  };
+  return s;
+}
+
+TEST(WorkloadDeterminism, OpenLoopPoissonSweepIsThreadCountInvariant) {
+  const Scenario s = PoissonMiniSweep();
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 4;
+  const ScenarioRunResult a = RunScenario(s, serial);
+  const ScenarioRunResult b = RunScenario(s, parallel);
+  EXPECT_EQ(DeterministicJson(a), DeterministicJson(b));
+  ASSERT_EQ(a.points.size(), 4u);
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].digest, b.points[i].digest);
+    // The Poisson arrival path is closure-free like everything else.
+    EXPECT_EQ(a.points[i].event_core.closure_events, 0u);
+    EXPECT_GT(a.points[i].metrics[0].second, 0.0);
+  }
+  // Distinct seeds draw distinct arrival processes.
+  EXPECT_NE(a.points[0].digest, a.points[1].digest);
+}
+
+}  // namespace
+}  // namespace optilog

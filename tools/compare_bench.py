@@ -6,7 +6,11 @@ Usage:
 
 Options:
     --tol NAME=REL          relative tolerance for the metric or column NAME
-                            (repeatable), e.g. --tol latency_ms=0.05
+                            (repeatable), e.g. --tol latency_ms=0.05. NAME
+                            may be an fnmatch glob (quote it): 'p*_ms=0.05'
+                            covers every percentile metric (p50_ms, p99_ms,
+                            latency_p99_ms, ...). Exact names win over globs;
+                            among globs the first match wins.
     --default-float-tol REL fallback relative tolerance for non-integer
                             values without an explicit --tol (default 0:
                             exact)
@@ -28,6 +32,7 @@ Exit status: 0 clean, 1 on any gated difference, 2 on usage errors.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 from pathlib import Path
@@ -81,6 +86,11 @@ class Comparator:
     def tolerance_for(self, name, base, cand):
         if name in self.tols:
             return self.tols[name]
+        for pattern, rel in self.tols.items():
+            if any(ch in pattern for ch in "*?[") and fnmatch.fnmatchcase(
+                name, pattern
+            ):
+                return rel
         if is_integral(base) and is_integral(cand):
             return None  # count metric: exact
         return self.default_float_tol
