@@ -135,11 +135,16 @@ int main() {
   std::printf("\nlog entries: %zu, log head %s...\n", log.size(),
               DigestHex(log.head()).substr(0, 16).c_str());
 
-  // 5) Serve traffic through the elected tree: one closed-loop client per
-  //    replica drives proposals through the root's request queue, and the
-  //    metrics report honest end-to-end client latency.
+  // 5) Serve real KV traffic through the elected tree: one closed-loop
+  //    client per replica issues get/put/RMW operations through the root's
+  //    request queue, every replica executes them at the commit boundary,
+  //    and each reply's committed value is cross-checked against the
+  //    client's model oracle (read-your-writes). Mid-run the root crashes
+  //    and later restarts amnesiac, recovering via snapshot + log-suffix
+  //    state transfer from its peers.
   WorkloadOptions workload;
   workload.think_time = 10 * kMsec;
+  workload.retry_timeout = 500 * kMsec;  // clients survive the root crash
   workload.batch.max_batch = 64;
   workload.batch.max_delay = 10 * kMsec;
   auto deployment =
@@ -149,14 +154,39 @@ int main() {
           .WithTopology(tree)
           .WithSeed(2026)
           .WithWorkload(workload)
+          .WithStateMachine()
+          .WithCheckpointing(/*interval=*/16)
+          .WithOptiLogReconfig(/*search_window=*/500 * kMsec)
+          .WithFaults([&tree](Deployment& dep) {
+            dep.faults().Mutable(tree.root()).crash_at = 4 * kSec;
+            dep.faults().Mutable(tree.root()).recover_at = 7 * kSec;
+          })
           .Build();
   deployment->Start();
-  deployment->RunUntil(10 * kSec);
+  deployment->RunUntil(12 * kSec);
   const MetricsReport m = deployment->Metrics();
   std::printf("served %llu requests at %.0f ops/s, client p50 %.1f ms, "
               "p99 %.1f ms\n",
               static_cast<unsigned long long>(m.workload.requests_completed),
-              m.MeanOps(1, 10), m.workload.latency_p50_ms,
+              m.MeanOps(1, 12), m.workload.latency_p50_ms,
               m.workload.latency_p99_ms);
-  return m.workload.requests_completed > 0 ? 0 : 1;
+  std::printf("root %u crashed at 4 s, recovered at 7 s: %llu/%llu recovery "
+              "(%llu transfer bytes, %.0f ms catch-up)\n",
+              tree.root(),
+              static_cast<unsigned long long>(m.statemachine.recoveries_completed),
+              static_cast<unsigned long long>(m.statemachine.recoveries_started),
+              static_cast<unsigned long long>(m.statemachine.transfer_bytes),
+              m.statemachine.catchup_ms_max);
+  std::printf("read-your-writes: %llu/%llu checks passed; replica state "
+              "digests %s (%.8s...)\n",
+              static_cast<unsigned long long>(m.workload.kv_checks -
+                                              m.workload.kv_mismatches),
+              static_cast<unsigned long long>(m.workload.kv_checks),
+              m.statemachine.digests_equal != 0 ? "EQUAL" : "DIVERGED",
+              m.statemachine.state_digest_hex.c_str());
+  const bool ok = m.workload.requests_completed > 0 &&
+                  m.workload.kv_checks > 0 && m.workload.kv_mismatches == 0 &&
+                  m.statemachine.recoveries_completed == 1 &&
+                  m.statemachine.digests_equal != 0;
+  return ok ? 0 : 1;
 }

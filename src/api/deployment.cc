@@ -138,6 +138,22 @@ Deployment::Builder& Deployment::Builder::WithWorkload(WorkloadOptions opts) {
   return *this;
 }
 
+Deployment::Builder& Deployment::Builder::WithStateMachine(
+    StateMachineOptions opts) {
+  statemachine_ = std::move(opts);
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithCheckpointing(uint64_t interval,
+                                                            bool truncate) {
+  if (!statemachine_.has_value()) {
+    statemachine_ = StateMachineOptions{};
+  }
+  statemachine_->checkpoint.interval = interval;
+  statemachine_->checkpoint.truncate = truncate;
+  return *this;
+}
+
 Deployment::Builder& Deployment::Builder::WithTopology(TreeTopology tree) {
   topology_ = std::move(tree);
   return *this;
@@ -209,6 +225,16 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
   std::optional<WorkloadOptions> workload = workload_;
   if (workload.has_value()) {
     workload->seed = workload->seed * 0x9e3779b97f4a7c15ULL ^ seed;
+  }
+  if (statemachine_.has_value()) {
+    // Execution needs operations to execute: the client fleet generates the
+    // KV mix and cross-checks committed results against its model oracle.
+    OL_CHECK_MSG(workload.has_value(),
+                 "WithStateMachine requires WithWorkload");
+    workload->kv.enabled = true;
+    d->rsm_group_ = std::make_unique<RsmGroup>(&d->sim_, d->net_.get(),
+                                               &d->faults_, d->n_,
+                                               *statemachine_);
   }
 
   if (IsTreeProtocol(protocol_)) {
@@ -291,8 +317,31 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
                                              d->keys_.get(), popts);
   }
 
+  if (d->rsm_group_ != nullptr) {
+    Deployment* dp = d.get();
+    if (d->tree_ != nullptr) {
+      d->tree_->BindStateMachine(d->rsm_group_.get());
+      d->rsm_group_->SetOnRecovered(
+          [dp](ReplicaId id, SimTime) { dp->tree_->OnReplicaRecovered(id); });
+    } else {
+      d->pbft_->BindStateMachine(d->rsm_group_.get());
+    }
+  }
+
   if (faults_) {
     faults_(*d);
+  }
+
+  // Arm crash-recovery restarts for every replica whose fault profile
+  // carries a recovery window (WithFaults sets them declaratively).
+  for (ReplicaId id = 0; id < d->n_; ++id) {
+    const SimTime recover_at = d->faults_.Of(id).recover_at;
+    if (recover_at == std::numeric_limits<SimTime>::max()) {
+      continue;
+    }
+    OL_CHECK_MSG(d->rsm_group_ != nullptr,
+                 "recover_at requires WithStateMachine (state transfer)");
+    d->rsm_group_->ScheduleRecovery(id, recover_at);
   }
   return d;
 }

@@ -38,6 +38,7 @@
 #include "src/net/network.h"
 #include "src/pbft/pbft_rsm.h"
 #include "src/rsm/log.h"
+#include "src/statemachine/group.h"
 #include "src/tree/tree_space.h"
 
 namespace optilog {
@@ -81,6 +82,9 @@ class Deployment {
   // WithOptiLogReconfig, the harness-owned one for the PBFT family, nullptr
   // otherwise.
   const Pipeline* pipeline() const;
+  // The replicated-state-machine layer (WithStateMachine); nullptr when the
+  // deployment only counts messages.
+  const RsmGroup* state_machines() const { return rsm_group_.get(); }
 
   // --- lifecycle -------------------------------------------------------------
   void Start() { engine().Start(); }
@@ -124,6 +128,12 @@ class Deployment {
 
   std::unique_ptr<TreeRsm> tree_;
   std::unique_ptr<PbftHarness> pbft_;
+
+  // Replicated-state-machine layer (WithStateMachine): per-replica KV
+  // machines executed at the commit boundary, checkpoints, and
+  // crash-recovery state transfer. The engines hold a raw pointer to it
+  // (BindStateMachine) but never touch it during destruction.
+  std::unique_ptr<RsmGroup> rsm_group_;
 };
 
 class Deployment::Builder {
@@ -166,6 +176,20 @@ class Deployment::Builder {
   // can stamp out per-point workloads from one base recipe.
   Builder& WithWorkload(WorkloadOptions opts);
 
+  // Executes a deterministic KV state machine at the commit boundary on
+  // every replica (src/statemachine/). Workload requests become real
+  // read/write/RMW operations whose committed results ride the client
+  // replies (model-oracle checked), and FaultProfile::recover_at windows
+  // get a crash-recovery path: the restarted replica fetches the latest
+  // snapshot plus the log suffix from live peers, verifies the digest
+  // chain, and rejoins. Requires WithWorkload.
+  Builder& WithStateMachine(StateMachineOptions opts = {});
+
+  // Checkpoint every `interval` commits (snapshot + digest + chain head);
+  // with `truncate` the snapshotted log prefix is dropped, bounding peak
+  // log memory at O(interval). Implies WithStateMachine.
+  Builder& WithCheckpointing(uint64_t interval, bool truncate = true);
+
   // Initial topology override for tree protocols (default: star for
   // HotStuff, random tree for Kauri, SA tree for OptiTree).
   Builder& WithTopology(TreeTopology tree);
@@ -205,6 +229,7 @@ class Deployment::Builder {
   TreeRsmOptions tree_opts_;
   PbftOptions pbft_opts_;
   std::optional<WorkloadOptions> workload_;
+  std::optional<StateMachineOptions> statemachine_;
   std::optional<TreeTopology> topology_;
   std::optional<AnnealingParams> search_params_;
   bool optilog_reconfig_ = false;

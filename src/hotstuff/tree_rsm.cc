@@ -34,6 +34,12 @@ void TreeReplica::OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) {
     case kMsgClientRequest:
       harness_->OnClientRequest(id_, msg);
       break;
+    case kMsgStateFetch:
+    case kMsgStateChunk:
+    case kMsgLogSuffixFetch:
+    case kMsgLogSuffixChunk:
+      harness_->OnStateTransfer(id_, from, msg, at);
+      break;
     default:
       break;
   }
@@ -232,6 +238,9 @@ MetricsReport TreeRsm::Metrics() const {
     fleet_->FillReport(report.workload);
     FillQueueReport(*queue_, report.workload);
   }
+  if (group_ != nullptr) {
+    group_->FillReport(report.statemachine, sim_->now());
+  }
   return report;
 }
 
@@ -258,7 +267,7 @@ void TreeRsm::OnClientRequest(ReplicaId receiver, const MessagePtr& msg) {
     net_->Send(receiver, tree_.root(), msg);
     return;
   }
-  if (queue_->Push(RequestRef{req.client, req.request_id, req.sent_at},
+  if (queue_->Push(RequestRef{req.client, req.request_id, req.sent_at, req.op},
                    sim_->now()) == RequestQueue::Admit::kAccepted) {
     PumpWorkload(false);
   }
@@ -358,16 +367,26 @@ void TreeRsm::CommitRound(uint64_t view) {
   ++committed_blocks_;
   latency_rec_.Record(round.proposed_at, sim_->now());
   if (queue_ != nullptr) {
-    // Commit boundary: the proposing root replies to every request on
-    // board — the stamp the client's end-to-end latency measures against.
-    // (Under rotate_root the current tree_.root() is already a later
-    // view's root; the batch lives at this round's proposer.)
+    // Commit boundary: every live replica executes the batch on its state
+    // machine, then the proposing root replies to every request on board
+    // with the committed result — the stamp the client's end-to-end
+    // latency (and its model oracle) measures against. (Under rotate_root
+    // the current tree_.root() is already a later view's root; the batch
+    // lives at this round's proposer.)
+    std::vector<Bytes> results;
+    if (group_ != nullptr) {
+      results = group_->CommitAll(round.proposer, round.batch, sim_->now());
+    }
     throughput_.RecordCommit(sim_->now(),
                              static_cast<uint32_t>(round.batch.size()));
-    for (const RequestRef& req : round.batch) {
+    for (size_t i = 0; i < round.batch.size(); ++i) {
+      const RequestRef& req = round.batch[i];
       auto reply = std::make_shared<ClientReplyMsg>();
       reply->request_id = req.request_id;
       reply->seq = view;
+      if (i < results.size()) {
+        reply->result = std::move(results[i]);
+      }
       net_->Send(round.proposer, req.client, std::move(reply));
     }
   } else {
@@ -513,6 +532,30 @@ void TreeRsm::PumpWorkload(bool deadline_fired) {
 void TreeRsm::RecordSuspicion(const SuspicionRecord& rec) {
   suspicions_.push_back(rec);
   suspicion_times_.push_back(sim_->now());
+}
+
+void TreeRsm::OnStateTransfer(ReplicaId receiver, ReplicaId from,
+                              const MessagePtr& msg, SimTime at) {
+  if (group_ != nullptr) {
+    group_->OnStateMessage(receiver, from, msg, at);
+  }
+}
+
+void TreeRsm::OnReplicaRecovered(ReplicaId id) {
+  excluded_.erase(id);
+  if (!started_ || tree_.Contains(id) || !reconfig_) {
+    return;
+  }
+  // The replica fell out of the active tree while it was down; ask the
+  // reconfiguration policy for a tree over the (now larger) live set.
+  std::optional<TreeTopology> next = reconfig_(*this);
+  if (next.has_value()) {
+    ++reconfigurations_;
+    reconfig_times_.push_back(sim_->now());
+    SetTopology(*next);
+    AbandonInFlightRounds();
+  }
+  RefillPipeline();
 }
 
 }  // namespace optilog

@@ -31,6 +31,7 @@
 #include "src/hotstuff/messages.h"
 #include "src/net/network.h"
 #include "src/rsm/metrics.h"
+#include "src/statemachine/group.h"
 #include "src/tree/topology.h"
 #include "src/tree/tree_score.h"
 #include "src/workload/workload.h"
@@ -122,6 +123,15 @@ class TreeRsm : public ConsensusEngine, public TimerTarget {
   void SetTopology(const TreeTopology& tree);
   void SetReconfigPolicy(ReconfigPolicy policy) { reconfig_ = std::move(policy); }
 
+  // Attaches the deployment's replicated-state-machine layer: every commit
+  // executes its batch on all live replicas, and replies carry the
+  // committed results. Must be set before Start.
+  void BindStateMachine(RsmGroup* group) { group_ = group; }
+  // A recovered replica reached the live frontier: drop its exclusion and,
+  // if it fell out of the active tree, let the reconfiguration policy
+  // re-bind it.
+  void OnReplicaRecovered(ReplicaId id);
+
   // Replicas the candidate machinery considers unresponsive (crashed set C
   // plus non-candidates): intermediates stop waiting for their votes and
   // suspect them silently — the protocol-level effect of OptiLog's u
@@ -184,6 +194,8 @@ class TreeRsm : public ConsensusEngine, public TimerTarget {
   // fired — then (re)arms the deadline timer for the oldest waiting request.
   void PumpWorkload(bool deadline_fired);
   void OnClientRequest(ReplicaId receiver, const MessagePtr& msg);
+  void OnStateTransfer(ReplicaId receiver, ReplicaId from, const MessagePtr& msg,
+                       SimTime at);
   void ReturnBatchToQueue(Round& round);
   void OnRootVotes(uint64_t view, Digest block, const std::vector<ReplicaId>& voters);
   void CommitRound(uint64_t view);
@@ -210,6 +222,9 @@ class TreeRsm : public ConsensusEngine, public TimerTarget {
   // Workload mode (options().workload): client fleet + leader request queue.
   std::unique_ptr<RequestQueue> queue_;
   std::unique_ptr<ClientFleet> fleet_;
+  // Deployment-owned state-machine layer (BindStateMachine); nullptr for
+  // message-counting-only runs.
+  RsmGroup* group_ = nullptr;
   EventId batch_timer_ = kNoEvent;
   SimTime batch_timer_due_ = 0;
 

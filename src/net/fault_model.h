@@ -18,6 +18,13 @@ struct ReplicaFaults {
   // Replica stops sending and receiving at this time (crash fault).
   SimTime crash_at = std::numeric_limits<SimTime>::max();
 
+  // Replica restarts at this time: the crash window is [crash_at,
+  // recover_at). The restarted process is amnesiac — it rejoins the network
+  // immediately but holds no state; deployments with a state machine attach
+  // a recovery session (snapshot + log-suffix transfer, src/statemachine/)
+  // that catches it up to the commit frontier.
+  SimTime recover_at = std::numeric_limits<SimTime>::max();
+
   // Outbound messages are delayed by this multiplicative factor (timing
   // fault; 1.0 = honest). Fig. 11's attackers use 1.1 / 1.2 / 1.4.
   double outbound_delay_factor = 1.0;
@@ -61,8 +68,13 @@ class FaultModel {
 
   ReplicaFaults& Mutable(ReplicaId id) { return faults_[id]; }
 
+  // True inside the crash window [crash_at, recover_at). Every consumer —
+  // Network drop-at-delivery, Multicast skip, loopback (SendSelf), probe
+  // rounds, state-machine execution — shares this one predicate, so recovery
+  // semantics stay consistent across layers.
   bool IsCrashedAt(ReplicaId id, SimTime now) const {
-    return now >= Of(id).crash_at;
+    const ReplicaFaults& f = Of(id);
+    return now >= f.crash_at && now < f.recover_at;
   }
 
   size_t num_byzantine() const {

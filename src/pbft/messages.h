@@ -36,7 +36,12 @@ struct PrePrepareMsg : Message {
     for (const Bytes& m : measurements) {
       measurement_bytes += m.size() + 4;
     }
-    return 8 + 4 + 8 + 16 * batch.size() + measurement_bytes + kSignatureSize;
+    size_t op_bytes = 0;
+    for (const RequestRef& r : batch) {
+      op_bytes += r.op.size();
+    }
+    return 8 + 4 + 8 + 16 * batch.size() + op_bytes + measurement_bytes +
+           kSignatureSize;
   }
   std::string Name() const override { return "PrePrepare"; }
 };

@@ -35,6 +35,12 @@ void PbftReplica::OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) {
     case kMsgAccept:
       HandlePhase(from, static_cast<const PhaseMsg&>(*msg), at);
       break;
+    case kMsgStateFetch:
+    case kMsgStateChunk:
+    case kMsgLogSuffixFetch:
+    case kMsgLogSuffixChunk:
+      harness_->OnStateTransfer(id_, from, msg, at);
+      break;
     default:
       break;
   }
@@ -47,6 +53,7 @@ void PbftReplica::HandlePrePrepare(ReplicaId from, const PrePrepareMsg& msg,
   }
   Instance& inst = instances_[msg.seq];
   inst.proposal_ts = msg.timestamp;
+  inst.leader = msg.leader;
   inst.digest = BatchDigest(msg.seq, msg.batch);
   inst.batch = msg.batch;
   inst.have_preprepare = true;
@@ -119,12 +126,27 @@ void PbftReplica::HandlePhase(ReplicaId from, const PhaseMsg& msg, SimTime at) {
 
 void PbftReplica::MaybeAdvance(uint64_t seq) {
   Instance& inst = instances_[seq];
-  if (!inst.have_preprepare) {
-    return;
-  }
   const double quorum = harness_->opts_.mode == PbftMode::kPbft
                             ? std::ceil((harness_->opts_.n + harness_->opts_.f + 1) / 2.0)
                             : harness_->scheme().quorum_weight;
+  if (!inst.have_preprepare) {
+    // An accept quorum for an instance this replica never saw the
+    // Pre-Prepare of. On the reliable simulated network a replica that
+    // never crashed cannot have *lost* a Pre-Prepare — at worst it is
+    // still in flight and MaybeAdvance runs again on its arrival — so the
+    // repair path is gated on this replica actually having a crash window
+    // behind it: then the Pre-Prepare was dropped for good and the decided
+    // entry must arrive via a log-suffix fetch from a live peer (same
+    // machinery as recovery, no amnesia).
+    const ReplicaFaults& own = harness_->net_->faults()->Of(id_);
+    if (harness_->group_ != nullptr && !inst.committed &&
+        inst.accept_weight >= quorum &&
+        harness_->sim_->now() >= own.crash_at) {
+      inst.committed = true;  // decided; execution arrives via the transfer
+      harness_->group_->RequestCatchup(id_, seq);
+    }
+    return;
+  }
   if (!inst.accepted && inst.write_weight >= quorum) {
     inst.accepted = true;
     auto accept = std::make_shared<PhaseMsg>();
@@ -145,13 +167,28 @@ void PbftReplica::MaybeAdvance(uint64_t seq) {
 void PbftReplica::Commit(uint64_t seq) {
   Instance& inst = instances_[seq];
   inst.committed = true;
-  // Commit boundary: reply to every client in the batch (the client
-  // completes on its f + 1-th reply).
-  for (const RequestRef& req : inst.batch) {
-    auto reply = std::make_shared<ClientReplyMsg>();
-    reply->request_id = req.request_id;
-    reply->seq = seq;
-    harness_->net_->Send(id_, req.client, std::move(reply));
+  // Commit boundary: execute, then reply to every client in the batch (the
+  // client completes on its f + 1-th matching reply). With a state machine
+  // bound, execution is strictly in sequence order — the group buffers this
+  // commit if an earlier instance is still undecided here — and the reply
+  // carries this replica's committed result.
+  if (harness_->group_ != nullptr) {
+    harness_->group_->CommitAt(
+        id_, seq, inst.leader, inst.batch, harness_->sim_->now(),
+        [this, seq](const RequestRef& req, const Bytes& result) {
+          auto reply = std::make_shared<ClientReplyMsg>();
+          reply->request_id = req.request_id;
+          reply->seq = seq;
+          reply->result = result;
+          harness_->net_->Send(id_, req.client, std::move(reply));
+        });
+  } else {
+    for (const RequestRef& req : inst.batch) {
+      auto reply = std::make_shared<ClientReplyMsg>();
+      reply->request_id = req.request_id;
+      reply->seq = seq;
+      harness_->net_->Send(id_, req.client, std::move(reply));
+    }
   }
   if (sensor_) {
     sensor_->CheckDeadlines(harness_->sim_->now());
@@ -300,9 +337,19 @@ MetricsReport PbftHarness::Metrics() const {
   report.event_core = sim_->event_core_stats();
   fleet_->FillReport(report.workload);
   FillQueueReport(*queue_, report.workload);
+  if (group_ != nullptr) {
+    group_->FillReport(report.statemachine, sim_->now());
+  }
   // End-to-end client latency — the metric the paper's PBFT figures plot.
   report.mean_latency_ms = report.workload.latency_mean_ms;
   return report;
+}
+
+void PbftHarness::OnStateTransfer(ReplicaId receiver, ReplicaId from,
+                                  const MessagePtr& msg, SimTime at) {
+  if (group_ != nullptr) {
+    group_->OnStateMessage(receiver, from, msg, at);
+  }
 }
 
 void PbftHarness::OnClientRequest(ReplicaId receiver, const MessagePtr& msg) {
@@ -313,7 +360,7 @@ void PbftHarness::OnClientRequest(ReplicaId receiver, const MessagePtr& msg) {
     net_->Send(receiver, config_.leader, msg);
     return;
   }
-  if (queue_->Push(RequestRef{req.client, req.request_id, req.sent_at},
+  if (queue_->Push(RequestRef{req.client, req.request_id, req.sent_at, req.op},
                    sim_->now()) != RequestQueue::Admit::kAccepted) {
     return;
   }

@@ -38,6 +38,7 @@
 #include "src/pbft/messages.h"
 #include "src/rsm/log.h"
 #include "src/rsm/metrics.h"
+#include "src/statemachine/group.h"
 #include "src/workload/workload.h"
 
 namespace optilog {
@@ -79,6 +80,7 @@ class PbftReplica : public Actor {
 
   struct Instance {
     SimTime proposal_ts = 0;
+    ReplicaId leader = kNoReplica;  // the proposer named in the Pre-Prepare
     Digest digest{};
     std::vector<RequestRef> batch;
     double write_weight = 0.0;
@@ -116,6 +118,11 @@ class PbftHarness : public ConsensusEngine, public TimerTarget {
   // optimization.
   void OnTimer(uint64_t tag, SimTime at) override;
 
+  // Attaches the deployment's replicated-state-machine layer: every replica
+  // executes committed instances in sequence order and replies carry the
+  // committed results. Must be set before Start.
+  void BindStateMachine(RsmGroup* group) { group_ = group; }
+
   const RoleConfig& config() const { return config_; }
   const WeightScheme& scheme() const { return space_.scheme(); }
   const PbftOptions& options() const { return opts_; }
@@ -139,6 +146,8 @@ class PbftHarness : public ConsensusEngine, public TimerTarget {
   void ProposeNext(SimTime now);
   void OnCommitAtLeader(uint64_t seq, uint32_t batch_size);
   void OnClientRequest(ReplicaId receiver, const MessagePtr& msg);
+  void OnStateTransfer(ReplicaId receiver, ReplicaId from, const MessagePtr& msg,
+                       SimTime at);
   void RunProbeRound();
   void RunAwareOptimization();
   // Commit-order measurement bus: sensor emissions are signed, appended to
@@ -162,6 +171,9 @@ class PbftHarness : public ConsensusEngine, public TimerTarget {
   // workload layer; only the propose-on-idle trigger below is PBFT's own.
   std::unique_ptr<RequestQueue> queue_;
   std::unique_ptr<ClientFleet> fleet_;
+  // Deployment-owned state-machine layer (BindStateMachine); nullptr for
+  // message-counting-only runs.
+  RsmGroup* group_ = nullptr;
 
   Log log_;
   std::unique_ptr<Pipeline> pipeline_;

@@ -75,10 +75,42 @@ struct WorkloadReport {
   uint64_t batches_deadline_triggered = 0;  // proposed on the deadline trigger
   uint64_t batches_idle_triggered = 0;      // proposed on idle (PBFT's trigger)
   size_t peak_queue_depth = 0;
+  // KV model-oracle cross-check (deployments with a state machine): each
+  // completed request's returned value is verified against the client's
+  // local model. Sound whenever a client's operations commit in its
+  // completion order (closed loop with outstanding == 1 guarantees it).
+  uint64_t kv_checks = 0;
+  uint64_t kv_mismatches = 0;
   double latency_mean_ms = 0.0;
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+};
+
+// Replicated-state-machine accounting (src/statemachine/), filled when the
+// deployment executes a state machine at the commit boundary; all zeros with
+// `enabled == false` otherwise. "Live" below means not crashed and not
+// mid-recovery at report time.
+struct StateMachineReport {
+  bool enabled = false;
+  uint64_t applied = 0;            // max applied frontier among live replicas
+  uint64_t checkpoints = 0;        // taken by the reference (max-frontier) replica
+  uint64_t truncations = 0;        // log truncations at the reference replica
+  uint64_t peak_log_entries = 0;   // max in-memory log entries, any replica
+  uint64_t live_log_entries = 0;   // reference replica's log size at report time
+  // 1 when every live replica materialized the same committed prefix: the
+  // max-frontier replicas' state digests are identical AND every replica
+  // still mid-flight on the last entries chain-checks against that prefix.
+  uint32_t digests_equal = 0;
+  std::string state_digest_hex;    // the agreed frontier digest ("" on mismatch)
+  uint64_t recoveries_started = 0;
+  uint64_t recoveries_completed = 0;
+  uint64_t catchups_started = 0;   // gap repairs without amnesia
+  uint64_t transfer_bytes = 0;     // snapshot + suffix wire bytes received
+  uint64_t transfer_chunks = 0;
+  uint64_t transfer_reroutes = 0;  // donor switches after a timeout
+  double catchup_ms_total = 0.0;   // sim-time cost of completed recoveries
+  double catchup_ms_max = 0.0;
 };
 
 // Protocol-agnostic snapshot of a run's outcome: what every ConsensusEngine
@@ -108,6 +140,9 @@ struct MetricsReport {
   // Client traffic accounting; enabled only when the engine serves a
   // workload instead of self-driving proposals.
   WorkloadReport workload;
+  // Replicated-state-machine execution/checkpoint/recovery accounting;
+  // enabled only under Deployment::Builder::WithStateMachine.
+  StateMachineReport statemachine;
 
   double MeanOps(size_t from_sec, size_t to_sec) const {
     return MeanOpsPerSec(throughput_per_sec, from_sec, to_sec);

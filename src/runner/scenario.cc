@@ -194,10 +194,28 @@ std::string MetricsFingerprint(const MetricsReport& m) {
   u(m.workload.batches_deadline_triggered);
   u(m.workload.batches_idle_triggered);
   u(m.workload.peak_queue_depth);
+  u(m.workload.kv_checks);
+  u(m.workload.kv_mismatches);
   blob += FormatDouble(m.workload.latency_mean_ms) + "|";
   blob += FormatDouble(m.workload.latency_p50_ms) + "|";
   blob += FormatDouble(m.workload.latency_p95_ms) + "|";
   blob += FormatDouble(m.workload.latency_p99_ms) + "|";
+  u(m.statemachine.enabled ? 1 : 0);
+  u(m.statemachine.applied);
+  u(m.statemachine.checkpoints);
+  u(m.statemachine.truncations);
+  u(m.statemachine.peak_log_entries);
+  u(m.statemachine.live_log_entries);
+  u(m.statemachine.digests_equal);
+  blob += m.statemachine.state_digest_hex + "|";
+  u(m.statemachine.recoveries_started);
+  u(m.statemachine.recoveries_completed);
+  u(m.statemachine.catchups_started);
+  u(m.statemachine.transfer_bytes);
+  u(m.statemachine.transfer_chunks);
+  u(m.statemachine.transfer_reroutes);
+  blob += FormatDouble(m.statemachine.catchup_ms_total) + "|";
+  blob += FormatDouble(m.statemachine.catchup_ms_max) + "|";
   return DigestHex(Sha256::Hash(blob));
 }
 

@@ -1,0 +1,94 @@
+// Wire messages for crash-recovery state transfer (src/statemachine/).
+//
+// A recovering replica drives the protocol: it asks a donor for its latest
+// checkpoint in fixed-size chunks (StateFetch -> StateChunk), installs and
+// digest-verifies the snapshot, then streams the log suffix after the
+// checkpoint (LogSuffixFetch -> LogSuffixChunk), verifying the SHA-256
+// chain head the donor quotes after every chunk. Requests carry a session
+// nonce so replies from an abandoned donor are dropped; every request arms
+// a timeout that re-routes the transfer to the next live donor, resuming
+// from the chunks already received when the new donor holds the same
+// checkpoint. All of it rides the typed Delivery lane — no closures.
+#pragma once
+
+#include <vector>
+
+#include "src/crypto/signature.h"
+#include "src/rsm/log.h"
+#include "src/sim/message.h"
+#include "src/sim/time.h"
+
+namespace optilog {
+
+enum StateTransferMsgType {
+  kMsgStateFetch = 40,
+  kMsgStateChunk = 41,
+  kMsgLogSuffixFetch = 42,
+  kMsgLogSuffixChunk = 43,
+};
+
+struct StateFetchMsg : Message {
+  uint64_t session = 0;  // recoverer's nonce; stale replies are dropped
+  uint64_t chunk = 0;    // next snapshot chunk the recoverer needs
+  // The checkpoint the recoverer is partway through (resume handshake): a
+  // donor whose latest checkpoint matches serves `chunk`; one that moved on
+  // serves its own chunk 0 and the recoverer restarts the download.
+  bool have_partial = false;
+  uint64_t through_index = 0;
+  Digest state_digest{};
+
+  int type() const override { return kMsgStateFetch; }
+  size_t WireSize() const override { return 8 + 8 + 1 + 8 + 32 + kSignatureSize; }
+  std::string Name() const override { return "StateFetch"; }
+};
+
+struct StateChunkMsg : Message {
+  uint64_t session = 0;
+  // Donor has no checkpoint yet: skip straight to a full-log suffix fetch
+  // from index 0.
+  bool has_checkpoint = false;
+  uint64_t through_index = 0;
+  Digest state_digest{};
+  Digest log_head{};
+  uint64_t chunk = 0;
+  uint64_t total_chunks = 0;
+  Bytes data;
+
+  int type() const override { return kMsgStateChunk; }
+  size_t WireSize() const override {
+    return 8 + 1 + 8 + 32 + 32 + 8 + 8 + 4 + data.size() + kSignatureSize;
+  }
+  std::string Name() const override { return "StateChunk"; }
+};
+
+struct LogSuffixFetchMsg : Message {
+  uint64_t session = 0;
+  uint64_t from_index = 0;
+
+  int type() const override { return kMsgLogSuffixFetch; }
+  size_t WireSize() const override { return 8 + 8 + kSignatureSize; }
+  std::string Name() const override { return "LogSuffixFetch"; }
+};
+
+struct LogSuffixChunkMsg : Message {
+  uint64_t session = 0;
+  uint64_t from_index = 0;
+  // The donor truncated past from_index (it checkpointed while we fetched):
+  // the recoverer must restart from a fresh snapshot.
+  bool truncated_past = false;
+  std::vector<LogEntry> entries;  // [from_index, from_index + entries.size())
+  Digest head_after{};            // donor chain head after the last entry
+  uint64_t donor_frontier = 0;    // donor applied frontier at send time
+
+  int type() const override { return kMsgLogSuffixChunk; }
+  size_t WireSize() const override {
+    size_t entry_bytes = 0;
+    for (const LogEntry& e : entries) {
+      entry_bytes += 8 + 1 + 4 + 4 + 4 + e.payload.size();
+    }
+    return 8 + 8 + 1 + 32 + 8 + 4 + entry_bytes + kSignatureSize;
+  }
+  std::string Name() const override { return "LogSuffixChunk"; }
+};
+
+}  // namespace optilog

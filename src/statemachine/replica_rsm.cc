@@ -1,0 +1,138 @@
+#include "src/statemachine/replica_rsm.h"
+
+#include "src/util/check.h"
+
+namespace optilog {
+
+Bytes EncodeOps(const std::vector<RequestRef>& batch) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.U32(static_cast<uint32_t>(batch.size()));
+  for (const RequestRef& req : batch) {
+    w.Blob(req.op);
+  }
+  return out;
+}
+
+std::vector<Bytes> DecodeOps(const Bytes& payload) {
+  ByteReader r(payload);
+  const uint32_t count = r.U32();
+  std::vector<Bytes> ops;
+  ops.reserve(count);
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    ops.push_back(r.Blob());
+  }
+  return ops;
+}
+
+void ReplicaRsm::Commit(uint64_t seq, ReplicaId proposer,
+                        const std::vector<RequestRef>& batch, SimTime now,
+                        ReplyFn on_reply, const Bytes* encoded_ops) {
+  if (seq < applied()) {
+    return;  // duplicate: a replayed suffix overlapped this live commit
+  }
+  if (seq > applied()) {
+    // Gap outstanding (PBFT quorums complete out of order, or this replica
+    // is mid-recovery): park the commit until the gap fills.
+    PendingCommit pending;
+    pending.proposer = proposer;
+    pending.batch = batch;
+    pending.now = now;
+    pending.on_reply = std::move(on_reply);
+    pending_.emplace(seq, std::move(pending));
+    return;
+  }
+  ApplyNext(proposer, batch, now, on_reply, encoded_ops);
+  DrainPending();
+}
+
+// Applies (and discards) every buffered commit the current frontier
+// unblocks; duplicates below the frontier are dropped.
+void ReplicaRsm::DrainPending() {
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first <= applied();) {
+    if (it->first == applied()) {
+      ApplyNext(it->second.proposer, it->second.batch, it->second.now,
+                it->second.on_reply);
+    }
+    it = pending_.erase(it);
+  }
+}
+
+void ReplicaRsm::ApplyNext(ReplicaId proposer,
+                           const std::vector<RequestRef>& batch, SimTime now,
+                           const ReplyFn& on_reply, const Bytes* encoded_ops) {
+  LogEntry entry;
+  entry.kind = EntryKind::kCommandBatch;
+  entry.proposer = proposer;
+  entry.committed_at = now;
+  entry.batch_size = static_cast<uint32_t>(batch.size());
+  entry.payload = encoded_ops != nullptr ? *encoded_ops : EncodeOps(batch);
+  log_.Append(std::move(entry));
+  for (const RequestRef& req : batch) {
+    Bytes result = machine_->Apply(req.op);
+    if (on_reply) {
+      on_reply(req, result);
+    }
+  }
+  MaybeCheckpoint();
+}
+
+void ReplicaRsm::MaybeCheckpoint() {
+  if (policy_.interval == 0 || applied() % policy_.interval != 0) {
+    return;
+  }
+  Checkpoint cp;
+  cp.through_index = applied() - 1;
+  cp.state = machine_->SnapshotBytes();
+  cp.state_digest = Sha256::Hash(cp.state);
+  cp.log_head = log_.head();
+  ++checkpoints_taken_;
+  if (policy_.keep_history) {
+    history_.push_back(cp);
+  }
+  latest_checkpoint_ = std::move(cp);
+  if (policy_.truncate) {
+    log_.TruncateTo(latest_checkpoint_->through_index + 1);
+  }
+}
+
+void ReplicaRsm::Amnesia() {
+  machine_->Reset();
+  log_.ResetToBase(0, Digest{});
+  pending_.clear();
+  latest_checkpoint_.reset();
+  history_.clear();
+  checkpoints_taken_ = 0;
+}
+
+void ReplicaRsm::InstallSnapshot(const Checkpoint& cp) {
+  machine_->Restore(cp.state);
+  log_.ResetToBase(cp.through_index + 1, cp.log_head);
+  latest_checkpoint_ = cp;
+  if (policy_.keep_history) {
+    history_.push_back(cp);
+  }
+  // The snapshot may have jumped the frontier past (or onto) commits that
+  // were buffered live during the transfer.
+  DrainPending();
+}
+
+bool ReplicaRsm::ReplayEntry(const LogEntry& entry) {
+  if (entry.index != applied()) {
+    return false;
+  }
+  LogEntry copy = entry;  // Append re-stamps the index; must match
+  log_.Append(std::move(copy));
+  for (const Bytes& op : DecodeOps(entry.payload)) {
+    machine_->Apply(op);
+  }
+  MaybeCheckpoint();
+  // Live commits buffered while this replica caught up may now be
+  // contiguous with the replayed prefix: apply them (their client replies
+  // included) instead of waiting for the next live commit to drain them.
+  DrainPending();
+  return true;
+}
+
+}  // namespace optilog

@@ -1,0 +1,108 @@
+#include "src/statemachine/state_machine.h"
+
+namespace optilog {
+
+Bytes KvOp::Encode() const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.U8(static_cast<uint8_t>(kind));
+  w.U64(key);
+  w.U64(arg);
+  return out;
+}
+
+bool KvOp::Decode(const Bytes& in, KvOp* out) {
+  ByteReader r(in);
+  KvOp op;
+  op.kind = static_cast<KvOpKind>(r.U8());
+  op.key = r.U64();
+  op.arg = r.U64();
+  if (!r.ok() || !r.Done() || op.kind > KvOpKind::kAdd) {
+    return false;
+  }
+  *out = op;
+  return true;
+}
+
+Bytes KvResult::Encode() const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.U8(found ? 1 : 0);
+  w.U64(value);
+  return out;
+}
+
+bool KvResult::Decode(const Bytes& in, KvResult* out) {
+  ByteReader r(in);
+  KvResult res;
+  res.found = r.U8() != 0;
+  res.value = r.U64();
+  if (!r.ok() || !r.Done()) {
+    return false;
+  }
+  *out = res;
+  return true;
+}
+
+Bytes KvStateMachine::Apply(const Bytes& op_bytes) {
+  KvOp op;
+  if (!KvOp::Decode(op_bytes, &op)) {
+    // Malformed committed bytes (Byzantine proposer): a deterministic no-op
+    // reply, identical on every replica.
+    return KvResult{}.Encode();
+  }
+  KvResult res;
+  switch (op.kind) {
+    case KvOpKind::kGet: {
+      auto it = kv_.find(op.key);
+      res.found = it != kv_.end();
+      res.value = res.found ? it->second : 0;
+      break;
+    }
+    case KvOpKind::kPut: {
+      auto [it, inserted] = kv_.insert_or_assign(op.key, op.arg);
+      (void)it;
+      res.found = !inserted;
+      res.value = op.arg;
+      break;
+    }
+    case KvOpKind::kAdd: {
+      auto [it, inserted] = kv_.try_emplace(op.key, 0);
+      res.found = !inserted;
+      it->second += op.arg;
+      res.value = it->second;
+      break;
+    }
+  }
+  return res.Encode();
+}
+
+Bytes KvStateMachine::SnapshotBytes() const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.U64(kv_.size());
+  for (const auto& [key, value] : kv_) {  // std::map: sorted, canonical
+    w.U64(key);
+    w.U64(value);
+  }
+  return out;
+}
+
+void KvStateMachine::Restore(const Bytes& snapshot) {
+  kv_.clear();
+  ByteReader r(snapshot);
+  const uint64_t count = r.U64();
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    const uint64_t key = r.U64();
+    const uint64_t value = r.U64();
+    kv_.emplace_hint(kv_.end(), key, value);
+  }
+}
+
+Digest KvStateMachine::StateDigest() const {
+  return Sha256::Hash(SnapshotBytes());
+}
+
+void KvStateMachine::Reset() { kv_.clear(); }
+
+}  // namespace optilog

@@ -1,0 +1,91 @@
+// The deterministic replicated state machine the committed log drives.
+//
+// Consensus orders opaque operation byte strings; every correct replica
+// applies them in log order to its own StateMachine instance, so all
+// replicas materialize identical state — the property the paper's whole
+// argument rests on (§1) and the one this module makes checkable:
+// StateDigest() is a SHA-256 over the canonical state encoding, compared
+// across replicas at every checkpoint and at run end.
+//
+// KvStateMachine is the concrete machine the workload layer drives: a
+// uint64 -> uint64 map with read (Get), blind write (Put), and
+// read-modify-write (Add) operations. Apply returns an encoded KvResult the
+// committing replica sends back in its client reply, which the client
+// cross-checks against a model oracle (src/workload/). Snapshot encoding is
+// the sorted key order of std::map, so snapshots are byte-identical across
+// replicas by construction, not by luck.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace optilog {
+
+enum class KvOpKind : uint8_t {
+  kGet = 0,  // read: result carries the current value
+  kPut = 1,  // blind write: result echoes the stored value
+  kAdd = 2,  // read-modify-write: value += arg, result carries the new value
+};
+
+struct KvOp {
+  KvOpKind kind = KvOpKind::kGet;
+  uint64_t key = 0;
+  uint64_t arg = 0;  // put: value to store; add: delta; get: unused
+
+  Bytes Encode() const;
+  // Returns false (leaving *out untouched) on malformed input — committed
+  // bytes can come from a Byzantine proposer.
+  static bool Decode(const Bytes& in, KvOp* out);
+};
+
+struct KvResult {
+  bool found = false;     // key existed before the op
+  uint64_t value = 0;     // get: current; put: stored; add: new value
+
+  Bytes Encode() const;
+  static bool Decode(const Bytes& in, KvResult* out);
+};
+
+// What consensus executes at the commit boundary. Implementations must be
+// deterministic: Apply's result and all subsequent state may depend only on
+// the sequence of operations applied since construction (or Restore).
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  // Applies one committed operation and returns the encoded reply.
+  virtual Bytes Apply(const Bytes& op) = 0;
+
+  // Canonical encoding of the full state; Restore(SnapshotBytes()) on a
+  // fresh instance reproduces the machine exactly.
+  virtual Bytes SnapshotBytes() const = 0;
+  virtual void Restore(const Bytes& snapshot) = 0;
+
+  // SHA-256 over the canonical state encoding. Equal digests across
+  // replicas prove equal state; the fingerprint scenarios pin joins through
+  // this (see MetricsFingerprint).
+  virtual Digest StateDigest() const = 0;
+
+  // Back to the initial (empty) state — what an amnesiac restart holds.
+  virtual void Reset() = 0;
+};
+
+class KvStateMachine : public StateMachine {
+ public:
+  Bytes Apply(const Bytes& op) override;
+  Bytes SnapshotBytes() const override;
+  void Restore(const Bytes& snapshot) override;
+  Digest StateDigest() const override;
+  void Reset() override;
+
+  size_t size() const { return kv_.size(); }
+  const std::map<uint64_t, uint64_t>& state() const { return kv_; }
+
+ private:
+  std::map<uint64_t, uint64_t> kv_;
+};
+
+}  // namespace optilog

@@ -12,6 +12,7 @@
 #include "src/crypto/signature.h"
 #include "src/sim/message.h"
 #include "src/sim/time.h"
+#include "src/util/bytes.h"
 
 namespace optilog {
 
@@ -21,10 +22,13 @@ enum WorkloadMsgType {
 };
 
 // What a leader's request queue and a proposal batch carry per request.
+// `op` is the encoded state-machine operation (src/statemachine/) when the
+// deployment executes one; empty for byte-counting-only workloads.
 struct RequestRef {
   ReplicaId client = kNoReplica;
   uint64_t request_id = 0;
   SimTime sent_at = 0;  // the client's original send (retries keep it)
+  Bytes op;
 };
 
 struct ClientRequestMsg : Message {
@@ -32,20 +36,24 @@ struct ClientRequestMsg : Message {
   uint64_t request_id = 0;
   SimTime sent_at = 0;
   size_t payload_bytes = 0;
+  Bytes op;  // encoded state-machine operation (may be empty)
 
   int type() const override { return kMsgClientRequest; }
   size_t WireSize() const override {
-    return 24 + payload_bytes + kSignatureSize;
+    return 24 + payload_bytes + op.size() + kSignatureSize;
   }
   std::string Name() const override { return "Request"; }
 };
 
 struct ClientReplyMsg : Message {
   uint64_t request_id = 0;
-  uint64_t seq = 0;  // committed block / instance
+  uint64_t seq = 0;   // committed block / instance
+  Bytes result;       // encoded state-machine result (may be empty)
 
   int type() const override { return kMsgClientReply; }
-  size_t WireSize() const override { return 16 + kSignatureSize; }
+  size_t WireSize() const override {
+    return 16 + result.size() + kSignatureSize;
+  }
   std::string Name() const override { return "Reply"; }
 };
 

@@ -75,11 +75,65 @@ void WorkloadClient::ScheduleNextArrival(SimTime now) {
   fleet_->sim_->ScheduleTimer(this, kTagArrival, delay);
 }
 
+KvOp WorkloadClient::DrawOp() {
+  const KvWorkloadOptions& kv = fleet_->opts_.kv;
+  KvOp op;
+  // Private key range: the client index tags the high bits, so no other
+  // client's operations ever touch this client's keys (the oracle's
+  // soundness precondition).
+  op.key = (static_cast<uint64_t>(index_) << 20) |
+           rng_.Below(std::max<uint32_t>(1, kv.keys_per_client));
+  const uint64_t draw = rng_.Below(100);
+  if (draw < kv.get_pct) {
+    op.kind = KvOpKind::kGet;
+  } else if (draw < kv.get_pct + kv.put_pct) {
+    op.kind = KvOpKind::kPut;
+    op.arg = rng_.Next() >> 16;
+  } else {
+    op.kind = KvOpKind::kAdd;
+    op.arg = 1 + rng_.Below(1000);
+  }
+  return op;
+}
+
+void WorkloadClient::VerifyResult(const KvOp& op, const Bytes& result) {
+  KvResult res;
+  if (result.empty() || !KvResult::Decode(result, &res)) {
+    return;  // a reply without a value (engine without a state machine)
+  }
+  ++fleet_->kv_checks_;
+  bool ok = true;
+  switch (op.kind) {
+    case KvOpKind::kGet: {
+      auto it = model_.find(op.key);
+      ok = res.found == (it != model_.end()) &&
+           (!res.found || res.value == it->second);
+      break;
+    }
+    case KvOpKind::kPut:
+      ok = res.value == op.arg;
+      model_[op.key] = op.arg;
+      break;
+    case KvOpKind::kAdd:
+      // Read-your-writes on the committed counter; adopt the committed
+      // value so the model tracks commit order even if completions raced.
+      ok = res.value == model_[op.key] + op.arg;
+      model_[op.key] = res.value;
+      break;
+  }
+  if (!ok) {
+    ++fleet_->kv_mismatches_;
+  }
+}
+
 void WorkloadClient::StartNewRequest(SimTime now) {
   const uint64_t id = next_request_++;
   Outstanding o;
   o.sent_at = now;
   o.target = fleet_->route_();
+  if (fleet_->opts_.kv.enabled) {
+    o.op = DrawOp();
+  }
   outstanding_.emplace(id, o);
   // Open-loop overload protection: bound the per-client tracking window.
   while (outstanding_.size() > kMaxOutstanding) {
@@ -99,6 +153,9 @@ void WorkloadClient::SendAttempt(uint64_t request_id, SimTime now) {
   req->request_id = request_id;
   req->sent_at = o.sent_at;
   req->payload_bytes = fleet_->opts_.request_bytes;
+  if (fleet_->opts_.kv.enabled) {
+    req->op = o.op.Encode();
+  }
   fleet_->net_->Send(id_, o.target, std::move(req));
   if (fleet_->opts_.retry_timeout > 0) {
     o.retry = fleet_->sim_->ScheduleTimer(this, request_id + 1,
@@ -153,6 +210,9 @@ void WorkloadClient::OnMessage(ReplicaId from, const MessagePtr& msg,
   Outstanding& o = it->second;
   if (++o.replies < fleet_->opts_.replies_needed) {
     return;
+  }
+  if (fleet_->opts_.kv.enabled && fleet_->opts_.kv.verify) {
+    VerifyResult(o.op, reply.result);
   }
   const SimTime delta = at - o.sent_at;
   fleet_->RecordCompletion(delta);
@@ -223,6 +283,8 @@ void ClientFleet::FillReport(WorkloadReport& report) const {
   report.requests_completed = completed_;
   report.requests_retried = retried_;
   report.requests_abandoned = abandoned_;
+  report.kv_checks = kv_checks_;
+  report.kv_mismatches = kv_mismatches_;
   report.latency_mean_ms = latency_stat_.mean();
   report.latency_p50_ms = latency_hist_.PercentileMs(50.0);
   report.latency_p95_ms = latency_hist_.PercentileMs(95.0);

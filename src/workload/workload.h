@@ -34,6 +34,7 @@
 
 #include "src/net/network.h"
 #include "src/rsm/metrics.h"
+#include "src/statemachine/state_machine.h"
 #include "src/util/rng.h"
 #include "src/workload/messages.h"
 #include "src/workload/request_queue.h"
@@ -41,6 +42,24 @@
 namespace optilog {
 
 enum class ArrivalProcess { kClosedLoop, kOpenRate, kOpenPoisson };
+
+// KV operation generation for deployments that execute a state machine
+// (Deployment::Builder::WithStateMachine flips `enabled`). Each request
+// carries a real encoded operation drawn from the client's seeded RNG; each
+// reply carries the committed result, cross-checked against a per-client
+// model oracle. Clients draw keys from a private range (client index tags
+// the high bits), which is what makes the oracle exact: only the client's
+// own ops touch its keys, and in a closed loop with one outstanding request
+// its ops commit in completion order. Under multi-outstanding or open-loop
+// traffic, concurrent same-key ops may verify against a transiently stale
+// model; tier-1 pins use outstanding == 1.
+struct KvWorkloadOptions {
+  bool enabled = false;
+  uint32_t keys_per_client = 16;
+  uint32_t get_pct = 25;   // reads
+  uint32_t put_pct = 50;   // blind writes; the remainder are read-modify-writes
+  bool verify = true;      // model-oracle cross-check on completions
+};
 
 // One scripted phase: the open-loop rate is scaled by `rate_scale` for
 // `duration`; phases run in order and the last scale persists.
@@ -69,6 +88,7 @@ struct WorkloadOptions {
   bool record_samples = true;   // keep the per-client (at, latency) series
   uint64_t seed = 1;
   BatchPolicy batch;  // leader-side batching (see request_queue.h)
+  KvWorkloadOptions kv;  // real KV operations + oracle (WithStateMachine)
 };
 
 struct ClientSample {
@@ -100,6 +120,10 @@ class WorkloadClient : public Actor {
   void SendAttempt(uint64_t request_id, SimTime now);
   void ScheduleNextArrival(SimTime now);
   SimTime Interarrival(SimTime now);
+  // Draws this request's KV operation from the client's private key range.
+  KvOp DrawOp();
+  // Model-oracle cross-check of a completed request's committed result.
+  void VerifyResult(const KvOp& op, const Bytes& result);
 
   struct Outstanding {
     SimTime sent_at = 0;
@@ -107,6 +131,7 @@ class WorkloadClient : public Actor {
     uint32_t attempts = 1;
     ReplicaId target = kNoReplica;
     EventId retry = kNoEvent;
+    KvOp op;  // meaningful only when the fleet generates KV ops
   };
 
   const ReplicaId id_;
@@ -116,6 +141,9 @@ class WorkloadClient : public Actor {
   uint64_t next_request_ = 0;
   std::map<uint64_t, Outstanding> outstanding_;
   std::vector<ClientSample> samples_;
+  // The oracle: what this client's private keys must hold given its
+  // completed operations (see KvWorkloadOptions for the soundness window).
+  std::map<uint64_t, uint64_t> model_;
 };
 
 class ClientFleet {
@@ -158,6 +186,8 @@ class ClientFleet {
   uint64_t completed_ = 0;
   uint64_t retried_ = 0;
   uint64_t abandoned_ = 0;
+  uint64_t kv_checks_ = 0;
+  uint64_t kv_mismatches_ = 0;
   LatencyHistogram latency_hist_;
   RunningStat latency_stat_;
 };

@@ -149,8 +149,8 @@ TEST(Log, AppendsAssignIndicesAndCountCommands) {
   log.Append(e);
   log.Append(e);
   EXPECT_EQ(log.size(), 2u);
-  EXPECT_EQ(log.entry(0).index, 0u);
-  EXPECT_EQ(log.entry(1).index, 1u);
+  EXPECT_EQ(log.EntryAt(0).index, 0u);
+  EXPECT_EQ(log.EntryAt(1).index, 1u);
   EXPECT_EQ(log.total_commands(), 2000u);
 }
 

@@ -274,6 +274,26 @@ TEST(SweepDeterminismTest, RegisteredTier1ChurnSweepIsThreadCountInvariant) {
   }
 }
 
+TEST(SweepDeterminismTest, RegisteredLogBoundSweepIsThreadCountInvariant) {
+  // The state-machine tier-1 scenarios carry the PR-3 contract too: the
+  // recovery/transfer path and the checkpoint/truncation path must be
+  // byte-identical at any thread count. log_bound is the cheap proxy run
+  // here (recovery's end-to-end determinism is pinned by
+  // Recovery.RunsAreDeterministic and the committed baseline).
+  const Scenario* s = ScenarioRegistry::Instance().Find("log_bound");
+  ASSERT_NE(s, nullptr);
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 4;
+  const ScenarioRunResult a = RunScenario(*s, serial);
+  const ScenarioRunResult b = RunScenario(*s, parallel);
+  EXPECT_EQ(DeterministicJson(a), DeterministicJson(b));
+  for (const PointResult& p : a.points) {
+    EXPECT_EQ(p.digest.size(), 64u);
+  }
+}
+
 TEST(RunnerResult, FingerprintTracksEveryCountedField) {
   MetricsReport m;
   m.committed = 10;
@@ -292,6 +312,20 @@ TEST(RunnerResult, FingerprintTracksEveryCountedField) {
   EXPECT_NE(MetricsFingerprint(changed), base);
   changed = m;
   changed.event_core.typed_deliveries = 1;
+  EXPECT_NE(MetricsFingerprint(changed), base);
+  // The state machine joins the fingerprint: applied frontier, digest
+  // agreement, and the transfer accounting all pin.
+  changed = m;
+  changed.statemachine.applied = 7;
+  EXPECT_NE(MetricsFingerprint(changed), base);
+  changed = m;
+  changed.statemachine.state_digest_hex = "ab";
+  EXPECT_NE(MetricsFingerprint(changed), base);
+  changed = m;
+  changed.statemachine.transfer_bytes = 1;
+  EXPECT_NE(MetricsFingerprint(changed), base);
+  changed = m;
+  changed.workload.kv_mismatches = 1;
   EXPECT_NE(MetricsFingerprint(changed), base);
   // Wall clock must NOT move the fingerprint.
   changed = m;

@@ -1,0 +1,419 @@
+// The replicated-state-machine subsystem (src/statemachine/): KV machine
+// determinism, checkpoint byte-equality across replicas in both protocol
+// families, log truncation invariants, and crash-recovery state transfer.
+#include <gtest/gtest.h>
+
+#include "src/api/deployment.h"
+#include "src/runner/scenario.h"
+#include "src/statemachine/group.h"
+#include "src/statemachine/replica_rsm.h"
+#include "src/statemachine/state_machine.h"
+
+namespace optilog {
+namespace {
+
+// --- KvStateMachine ----------------------------------------------------------
+
+Bytes Op(KvOpKind kind, uint64_t key, uint64_t arg = 0) {
+  KvOp op;
+  op.kind = kind;
+  op.key = key;
+  op.arg = arg;
+  return op.Encode();
+}
+
+KvResult Apply(StateMachine& sm, KvOpKind kind, uint64_t key,
+               uint64_t arg = 0) {
+  KvResult res;
+  EXPECT_TRUE(KvResult::Decode(sm.Apply(Op(kind, key, arg)), &res));
+  return res;
+}
+
+TEST(KvStateMachine, OperationsAndResults) {
+  KvStateMachine sm;
+  KvResult res = Apply(sm, KvOpKind::kGet, 7);
+  EXPECT_FALSE(res.found);
+
+  res = Apply(sm, KvOpKind::kPut, 7, 42);
+  EXPECT_FALSE(res.found);  // fresh key
+  EXPECT_EQ(res.value, 42u);
+
+  res = Apply(sm, KvOpKind::kGet, 7);
+  EXPECT_TRUE(res.found);
+  EXPECT_EQ(res.value, 42u);
+
+  res = Apply(sm, KvOpKind::kAdd, 7, 8);
+  EXPECT_TRUE(res.found);
+  EXPECT_EQ(res.value, 50u);
+
+  res = Apply(sm, KvOpKind::kAdd, 9, 5);  // RMW on an absent key starts at 0
+  EXPECT_FALSE(res.found);
+  EXPECT_EQ(res.value, 5u);
+}
+
+TEST(KvStateMachine, SnapshotRestoreRoundTripAndDigest) {
+  KvStateMachine a;
+  Apply(a, KvOpKind::kPut, 1, 10);
+  Apply(a, KvOpKind::kPut, 2, 20);
+  Apply(a, KvOpKind::kAdd, 1, 5);
+
+  KvStateMachine b;
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
+  b.Restore(a.SnapshotBytes());
+  EXPECT_EQ(a.SnapshotBytes(), b.SnapshotBytes());
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+
+  Apply(b, KvOpKind::kPut, 3, 30);
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
+  b.Reset();
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(KvStateMachine, MalformedOpIsADeterministicNoop) {
+  KvStateMachine sm;
+  const Digest before = sm.StateDigest();
+  KvResult res;
+  ASSERT_TRUE(KvResult::Decode(sm.Apply(Bytes{0xff, 0x01}), &res));
+  EXPECT_FALSE(res.found);
+  EXPECT_EQ(sm.StateDigest(), before);
+}
+
+// --- Log truncation ----------------------------------------------------------
+
+LogEntry CommandEntry(uint32_t batch, uint8_t tag) {
+  LogEntry e;
+  e.kind = EntryKind::kCommandBatch;
+  e.batch_size = batch;
+  e.payload = {tag};
+  return e;
+}
+
+TEST(LogTruncation, ChainHeadIsInvariantToTruncationPoints) {
+  // Three logs, same appends, truncated at different points (or never):
+  // the chain head must be byte-identical regardless.
+  Log never, early, late;
+  for (uint8_t i = 0; i < 12; ++i) {
+    never.Append(CommandEntry(10, i));
+    early.Append(CommandEntry(10, i));
+    late.Append(CommandEntry(10, i));
+    if (i == 3) {
+      early.TruncateTo(4);
+    }
+    if (i == 9) {
+      late.TruncateTo(8);
+    }
+  }
+  EXPECT_EQ(never.head(), early.head());
+  EXPECT_EQ(never.head(), late.head());
+  EXPECT_EQ(never.next_index(), early.next_index());
+
+  EXPECT_EQ(early.base_index(), 4u);
+  EXPECT_EQ(early.size(), 8u);
+  EXPECT_EQ(late.base_index(), 8u);
+  EXPECT_EQ(late.size(), 4u);
+  // base_head records the chain at the cut; appends continue from head().
+  EXPECT_EQ(early.base_head(), never.HeadAt(3));
+  EXPECT_EQ(late.base_head(), never.HeadAt(7));
+}
+
+TEST(LogTruncation, EntryAtIsBaseOffsetAware) {
+  Log log;
+  for (uint8_t i = 0; i < 10; ++i) {
+    log.Append(CommandEntry(1, i));
+  }
+  log.TruncateTo(6);
+  EXPECT_FALSE(log.Has(5));
+  ASSERT_TRUE(log.Has(6));
+  EXPECT_EQ(log.EntryAt(6).index, 6u);
+  EXPECT_EQ(log.EntryAt(9).payload, Bytes{9});
+  EXPECT_EQ(log.next_index(), 10u);
+  // Appends after truncation keep absolute indexing.
+  log.Append(CommandEntry(1, 10));
+  EXPECT_EQ(log.EntryAt(10).index, 10u);
+  EXPECT_EQ(log.peak_size(), 10u);  // high-water mark predates truncation
+  EXPECT_EQ(log.truncations(), 1u);
+}
+
+TEST(LogTruncation, ResetToBaseContinuesTheDonorChain) {
+  Log donor;
+  for (uint8_t i = 0; i < 8; ++i) {
+    donor.Append(CommandEntry(2, i));
+  }
+  // A recovering replica adopts the chain position at index 4 and replays
+  // the suffix; heads must converge entry by entry.
+  Log recovered;
+  recovered.ResetToBase(5, donor.HeadAt(4));
+  for (uint64_t i = 5; i < 8; ++i) {
+    recovered.Append(donor.EntryAt(i));
+    EXPECT_EQ(recovered.head(), donor.HeadAt(i));
+  }
+  EXPECT_EQ(recovered.head(), donor.head());
+}
+
+// --- FaultModel recovery window ----------------------------------------------
+
+TEST(FaultWindow, IsCrashedHonorsCrashRecoverWindow) {
+  FaultModel faults;
+  faults.Mutable(1).crash_at = 1000;
+  faults.Mutable(1).recover_at = 5000;
+  EXPECT_FALSE(faults.IsCrashedAt(1, 999));
+  EXPECT_TRUE(faults.IsCrashedAt(1, 1000));
+  EXPECT_TRUE(faults.IsCrashedAt(1, 4999));
+  EXPECT_FALSE(faults.IsCrashedAt(1, 5000));
+  EXPECT_FALSE(faults.IsCrashedAt(1, 9999));
+  // Without recover_at the crash stays a one-way door.
+  faults.Mutable(2).crash_at = 1000;
+  EXPECT_TRUE(faults.IsCrashedAt(2, 1'000'000'000));
+}
+
+// Delivery semantics across the window, loopback included (the PR-2
+// SendSelf crash-at-delivery contract extended to recovery).
+struct RecordingActor : Actor {
+  void OnMessage(ReplicaId, const MessagePtr&, SimTime at) override {
+    deliveries.push_back(at);
+  }
+  std::vector<SimTime> deliveries;
+};
+
+struct PingMsg : Message {
+  int type() const override { return 99; }
+  size_t WireSize() const override { return 8; }
+  std::string Name() const override { return "Ping"; }
+};
+
+TEST(FaultWindow, DeliveriesResumeAfterRecovery) {
+  Simulator sim;
+  FaultModel faults;
+  MatrixLatencyModel latency(2, /*one_way=*/100);
+  Network net(&sim, &latency, &faults);
+  RecordingActor a0, a1;
+  net.Register(0, &a0);
+  net.Register(1, &a1);
+  faults.Mutable(1).crash_at = 500;
+  faults.Mutable(1).recover_at = 1500;
+
+  // Lands at 100: before the window — delivered.
+  net.Send(0, 1, std::make_shared<PingMsg>());
+  sim.RunUntil(900);
+  // Sent at 900, lands at 1000: inside the window — dropped.
+  net.Send(0, 1, std::make_shared<PingMsg>());
+  sim.RunUntil(1600);
+  // Sent at 1600 (after recovery), lands at 1700 — delivered.
+  net.Send(0, 1, std::make_shared<PingMsg>());
+  // Loopback honors the same window: self-send at 1700 delivered, and the
+  // crashed replica's own loopback inside the window would have been
+  // dropped at source.
+  sim.RunUntil(1700);
+  net.SendSelf(1, std::make_shared<PingMsg>());
+  sim.RunUntil(2000);
+
+  ASSERT_EQ(a1.deliveries.size(), 3u);
+  EXPECT_EQ(a1.deliveries[0], 100u);
+  EXPECT_EQ(a1.deliveries[1], 1700u);
+  EXPECT_EQ(a1.deliveries[2], 1700u);
+}
+
+// --- checkpoint determinism across replicas ----------------------------------
+
+WorkloadOptions ClosedLoopKv() {
+  WorkloadOptions w;
+  w.arrival = ArrivalProcess::kClosedLoop;
+  w.outstanding = 1;
+  w.think_time = 10 * kMsec;
+  w.retry_timeout = 800 * kMsec;
+  w.batch.max_batch = 32;
+  w.batch.max_delay = 5 * kMsec;
+  return w;
+}
+
+StateMachineOptions CheckpointedEvery(uint64_t interval, bool truncate,
+                                      bool history) {
+  StateMachineOptions opts;
+  opts.checkpoint.interval = interval;
+  opts.checkpoint.truncate = truncate;
+  opts.checkpoint.keep_history = history;
+  return opts;
+}
+
+// Every replica that stayed live must hold byte-identical checkpoints at
+// every checkpoint index, and matching state digests at the frontier.
+void ExpectCheckpointsIdentical(Deployment& d) {
+  const RsmGroup* group = d.state_machines();
+  ASSERT_NE(group, nullptr);
+  const auto& reference = group->rsm(0).checkpoint_history();
+  ASSERT_FALSE(reference.empty()) << "run too short: no checkpoints taken";
+  for (ReplicaId id = 1; id < d.n(); ++id) {
+    const auto& mine = group->rsm(id).checkpoint_history();
+    // PBFT replicas may lag by in-flight instances; compare the shared
+    // prefix of checkpoint histories.
+    const size_t common = std::min(reference.size(), mine.size());
+    ASSERT_GE(common, 1u);
+    for (size_t k = 0; k < common; ++k) {
+      EXPECT_EQ(mine[k].through_index, reference[k].through_index);
+      EXPECT_EQ(mine[k].state_digest, reference[k].state_digest);
+      EXPECT_EQ(mine[k].log_head, reference[k].log_head);
+      EXPECT_EQ(mine[k].state, reference[k].state)
+          << "snapshot bytes diverge at checkpoint " << k;
+    }
+  }
+}
+
+TEST(CheckpointDeterminism, MiniKauriIdenticalSnapshotsEverywhere) {
+  auto d = Deployment::Builder()
+               .WithReplicas(7, 2)
+               .WithProtocol(Protocol::kKauri)
+               .WithSeed(11)
+               .WithWorkload(ClosedLoopKv())
+               .WithStateMachine(CheckpointedEvery(4, /*truncate=*/true,
+                                                   /*history=*/true))
+               .Build();
+  d->Start();
+  d->RunUntil(8 * kSec);
+  ExpectCheckpointsIdentical(*d);
+
+  const MetricsReport m = d->Metrics();
+  EXPECT_TRUE(m.statemachine.enabled);
+  EXPECT_GT(m.statemachine.applied, 0u);
+  EXPECT_GT(m.statemachine.checkpoints, 0u);
+  EXPECT_EQ(m.statemachine.digests_equal, 1u);
+  EXPECT_EQ(m.statemachine.state_digest_hex.size(), 64u);
+  EXPECT_GT(m.workload.kv_checks, 0u);
+  EXPECT_EQ(m.workload.kv_mismatches, 0u);
+}
+
+TEST(CheckpointDeterminism, MiniPbftIdenticalSnapshotsEverywhere) {
+  auto d = Deployment::Builder()
+               .WithReplicas(7, 2)
+               .WithProtocol(Protocol::kPbft)
+               .WithSeed(12)
+               .WithWorkload(ClosedLoopKv())
+               .WithStateMachine(CheckpointedEvery(4, /*truncate=*/true,
+                                                   /*history=*/true))
+               .Build();
+  d->Start();
+  d->RunUntil(8 * kSec);
+  ExpectCheckpointsIdentical(*d);
+
+  const MetricsReport m = d->Metrics();
+  EXPECT_GT(m.statemachine.applied, 0u);
+  EXPECT_EQ(m.statemachine.digests_equal, 1u);
+  EXPECT_GT(m.workload.kv_checks, 0u);
+  EXPECT_EQ(m.workload.kv_mismatches, 0u);
+}
+
+TEST(CheckpointDeterminism, TruncationBoundsPeakLogMemory) {
+  auto base = Deployment::Builder()
+                  .WithReplicas(7, 2)
+                  .WithProtocol(Protocol::kKauri)
+                  .WithSeed(13)
+                  .WithWorkload(ClosedLoopKv());
+  auto bounded = base.Clone()
+                     .WithStateMachine(CheckpointedEvery(8, true, false))
+                     .Build();
+  auto unbounded = base.Clone()
+                       .WithStateMachine(CheckpointedEvery(8, false, false))
+                       .Build();
+  for (auto* d : {bounded.get(), unbounded.get()}) {
+    d->Start();
+    d->RunUntil(10 * kSec);
+  }
+  const MetricsReport mb = bounded->Metrics();
+  const MetricsReport mu = unbounded->Metrics();
+  // Identical schedule (truncation never changes execution)...
+  EXPECT_EQ(mb.statemachine.applied, mu.statemachine.applied);
+  EXPECT_EQ(mb.statemachine.state_digest_hex, mu.statemachine.state_digest_hex);
+  ASSERT_GT(mu.statemachine.applied, 16u) << "run too short to show the bound";
+  // ...but bounded memory: peak in-memory entries never exceed one interval
+  // plus the entries since the last checkpoint, while the untruncated log
+  // grows with the run.
+  EXPECT_LE(mb.statemachine.peak_log_entries, 2 * 8u);
+  EXPECT_EQ(mu.statemachine.peak_log_entries, mu.statemachine.applied);
+  EXPECT_GT(mb.statemachine.truncations, 0u);
+  EXPECT_EQ(mu.statemachine.truncations, 0u);
+}
+
+// --- crash recovery ----------------------------------------------------------
+
+TEST(Recovery, TreeReplicaRejoinsViaSnapshotAndSuffix) {
+  const SimTime crash_at = 4 * kSec;
+  const SimTime recover_at = 10 * kSec;
+  ReplicaId victim = kNoReplica;
+  auto d = Deployment::Builder()
+               .WithReplicas(7, 2)
+               .WithProtocol(Protocol::kOptiTree)
+               .WithSeed(21)
+               .WithInitialSearch(AnnealingParams::ForBudget(2000))
+               .WithOptiLogReconfig(/*search_window=*/500 * kMsec)
+               .WithWorkload(ClosedLoopKv())
+               .WithStateMachine(CheckpointedEvery(8, true, false))
+               .WithFaults([&](Deployment& dep) {
+                 victim = dep.tree().topology().root();
+                 dep.faults().Mutable(victim).crash_at = crash_at;
+                 dep.faults().Mutable(victim).recover_at = recover_at;
+               })
+               .Build();
+  d->Start();
+  d->RunUntil(25 * kSec);
+
+  const MetricsReport m = d->Metrics();
+  EXPECT_EQ(m.statemachine.recoveries_started, 1u);
+  EXPECT_EQ(m.statemachine.recoveries_completed, 1u);
+  EXPECT_GT(m.statemachine.transfer_bytes, 0u);
+  EXPECT_GT(m.statemachine.transfer_chunks, 0u);
+  EXPECT_GT(m.statemachine.catchup_ms_max, 0.0);
+  // The recovered replica holds the same state as everyone else.
+  EXPECT_EQ(m.statemachine.digests_equal, 1u);
+  ASSERT_NE(victim, kNoReplica);
+  EXPECT_EQ(d->state_machines()->rsm(victim).applied(), m.statemachine.applied);
+  EXPECT_EQ(m.workload.kv_mismatches, 0u);
+}
+
+TEST(Recovery, PbftReplicaRejoinsAndCatchesUp) {
+  auto d = Deployment::Builder()
+               .WithReplicas(7, 2)
+               .WithProtocol(Protocol::kPbft)
+               .WithSeed(22)
+               .WithWorkload(ClosedLoopKv())
+               .WithStateMachine(CheckpointedEvery(8, true, false))
+               .WithFaults([](Deployment& dep) {
+                 dep.faults().Mutable(3).crash_at = 3 * kSec;
+                 dep.faults().Mutable(3).recover_at = 8 * kSec;
+               })
+               .Build();
+  d->Start();
+  d->RunUntil(20 * kSec);
+
+  const MetricsReport m = d->Metrics();
+  EXPECT_EQ(m.statemachine.recoveries_started, 1u);
+  EXPECT_EQ(m.statemachine.recoveries_completed, 1u);
+  EXPECT_GT(m.statemachine.transfer_bytes, 0u);
+  EXPECT_EQ(m.statemachine.digests_equal, 1u);
+  // The recovered replica reached (at least) every decided instance that
+  // is stable across the cluster.
+  const uint64_t victim_applied = d->state_machines()->rsm(3).applied();
+  EXPECT_GT(victim_applied, 0u);
+  EXPECT_EQ(m.workload.kv_mismatches, 0u);
+}
+
+TEST(Recovery, RunsAreDeterministic) {
+  auto run = [] {
+    auto d = Deployment::Builder()
+                 .WithReplicas(7, 2)
+                 .WithProtocol(Protocol::kPbft)
+                 .WithSeed(33)
+                 .WithWorkload(ClosedLoopKv())
+                 .WithStateMachine(CheckpointedEvery(8, true, false))
+                 .WithFaults([](Deployment& dep) {
+                   dep.faults().Mutable(2).crash_at = 3 * kSec;
+                   dep.faults().Mutable(2).recover_at = 7 * kSec;
+                 })
+                 .Build();
+    d->Start();
+    d->RunUntil(15 * kSec);
+    return MetricsFingerprint(d->Metrics());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace optilog

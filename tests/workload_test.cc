@@ -19,11 +19,11 @@ TEST(RequestQueueTest, AdmissionDedupAndOverflow) {
   policy.max_queue = 3;
   RequestQueue q(policy);
 
-  EXPECT_EQ(q.Push({7, 0, 0}, 10), RequestQueue::Admit::kAccepted);
-  EXPECT_EQ(q.Push({7, 0, 0}, 11), RequestQueue::Admit::kDuplicate);  // retry
-  EXPECT_EQ(q.Push({7, 1, 0}, 12), RequestQueue::Admit::kAccepted);
-  EXPECT_EQ(q.Push({8, 0, 0}, 13), RequestQueue::Admit::kAccepted);
-  EXPECT_EQ(q.Push({8, 1, 0}, 14), RequestQueue::Admit::kDropped);  // full
+  EXPECT_EQ(q.Push({7, 0, 0, {}}, 10), RequestQueue::Admit::kAccepted);
+  EXPECT_EQ(q.Push({7, 0, 0, {}}, 11), RequestQueue::Admit::kDuplicate);  // retry
+  EXPECT_EQ(q.Push({7, 1, 0, {}}, 12), RequestQueue::Admit::kAccepted);
+  EXPECT_EQ(q.Push({8, 0, 0, {}}, 13), RequestQueue::Admit::kAccepted);
+  EXPECT_EQ(q.Push({8, 1, 0, {}}, 14), RequestQueue::Admit::kDropped);  // full
   EXPECT_EQ(q.accepted(), 3u);
   EXPECT_EQ(q.duplicates(), 1u);
   EXPECT_EQ(q.dropped(), 1u);
@@ -44,19 +44,19 @@ TEST(RequestQueueTest, AdmissionDedupAndOverflow) {
   EXPECT_TRUE(q.empty());
 
   // A duplicate of a popped (still-windowed) request stays rejected.
-  EXPECT_EQ(q.Push({7, 0, 0}, 30), RequestQueue::Admit::kDuplicate);
+  EXPECT_EQ(q.Push({7, 0, 0, {}}, 30), RequestQueue::Admit::kDuplicate);
 }
 
 TEST(RequestQueueTest, RequeuePreservesOrderWithoutRecounting) {
   RequestQueue q(BatchPolicy{});
-  q.Push({1, 0, 0}, 0);
-  q.Push({1, 1, 0}, 1);
-  q.Push({1, 2, 0}, 2);
+  q.Push({1, 0, 0, {}}, 0);
+  q.Push({1, 1, 0, {}}, 1);
+  q.Push({1, 2, 0, {}}, 2);
   auto batch = q.PopBatch(5, BatchTrigger::kDeadline);
   ASSERT_EQ(batch.size(), 3u);
   // The round failed: the batch returns to the FRONT, oldest first, and
   // `accepted` does not move (committed at most once per admission).
-  q.Push({1, 3, 0}, 6);
+  q.Push({1, 3, 0, {}}, 6);
   q.Requeue(std::move(batch), 7);
   EXPECT_EQ(q.accepted(), 4u);
   const auto again = q.PopBatch(8, BatchTrigger::kDeadline);
