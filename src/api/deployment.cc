@@ -35,6 +35,16 @@ MetricsReport Deployment::Metrics() {
   return m;
 }
 
+void Deployment::ScheduleCrash(ReplicaId id, SimTime crash_at,
+                               SimTime recover_at) {
+  OL_CHECK_MSG(rsm_group_ != nullptr,
+               "ScheduleCrash requires WithStateMachine (state transfer)");
+  auto& profile = faults_.Mutable(id);
+  profile.crash_at = crash_at;
+  profile.recover_at = recover_at;
+  rsm_group_->ScheduleRecovery(id, recover_at);
+}
+
 const Pipeline* Deployment::pipeline() const {
   if (pipeline_ != nullptr) {
     return pipeline_.get();
@@ -52,7 +62,7 @@ std::optional<TreeTopology> Deployment::OptiLogReconfig(TreeRsm& rsm) {
   const auto& suspicions = rsm.logged_suspicions();
   for (; consumed_suspicions_ < suspicions.size(); ++consumed_suspicions_) {
     AppendMeasurement(
-        log_, sim_.now(),
+        log_, sim().now(),
         MakeSuspicionMeasurement(suspicions[consumed_suspicions_], *keys_).Encode());
   }
   pipeline_->OnView(consumed_suspicions_);
@@ -62,7 +72,7 @@ std::optional<TreeTopology> Deployment::OptiLogReconfig(TreeRsm& rsm) {
   // from waiting for their votes — the protocol-level effect of u (§6.2).
   std::set<ReplicaId> excluded;
   for (ReplicaId id = 0; id < n_; ++id) {
-    if (faults_.IsCrashedAt(id, sim_.now())) {
+    if (faults_.IsCrashedAt(id, sim().now())) {
       excluded.insert(id);
     }
   }
@@ -172,8 +182,34 @@ Deployment::Builder& Deployment::Builder::WithOptiLogReconfig(
   return *this;
 }
 
+Deployment::Builder& Deployment::Builder::WithShards(uint32_t shards) {
+  OL_CHECK(shards >= 1);
+  shards_ = shards;
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithCrossShardRatio(double ratio) {
+  OL_CHECK(ratio >= 0.0 && ratio <= 1.0);
+  cross_shard_ratio_ = ratio;
+  return *this;
+}
+
+Deployment::Builder& Deployment::Builder::WithTxnWorkload(
+    TxnWorkloadOptions opts) {
+  txn_workload_ = opts;
+  return *this;
+}
+
 std::unique_ptr<Deployment> Deployment::Builder::Build() {
+  return BuildInternal(nullptr);
+}
+
+std::unique_ptr<Deployment> Deployment::Builder::BuildInternal(
+    Simulator* external) {
   auto d = std::unique_ptr<Deployment>(new Deployment());
+  if (external != nullptr) {
+    d->simp_ = external;
+  }
   d->protocol_ = protocol_;
   const uint64_t seed = seed_.value_or(1);
 
@@ -194,7 +230,10 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
   // client <-> replica deliveries resolve for ids n .. n + clients - 1.
   size_t client_count = 0;
   if (workload_.has_value()) {
-    client_count = workload_->clients != 0 ? workload_->clients : d->n_;
+    if (workload_->spawn_fleet) {
+      client_count = workload_->clients != 0 ? workload_->clients : d->n_;
+    }
+    client_count += workload_->extra_client_slots;
   } else if (!IsTreeProtocol(protocol_)) {
     client_count = d->n_;
   }
@@ -202,7 +241,7 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
       client_count > 0 ? WithColocatedClients(d->cities_, client_count)
                        : d->cities_;
   d->latency_model_ = std::make_unique<GeoLatencyModel>(model_cities);
-  d->net_ = std::make_unique<Network>(&d->sim_, d->latency_model_.get(),
+  d->net_ = std::make_unique<Network>(d->simp_, d->latency_model_.get(),
                                       &d->faults_);
   if (bandwidth_bps_ > 0) {
     d->net_->SetBandwidthBps(bandwidth_bps_);
@@ -232,7 +271,7 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
     OL_CHECK_MSG(workload.has_value(),
                  "WithStateMachine requires WithWorkload");
     workload->kv.enabled = true;
-    d->rsm_group_ = std::make_unique<RsmGroup>(&d->sim_, d->net_.get(),
+    d->rsm_group_ = std::make_unique<RsmGroup>(d->simp_, d->net_.get(),
                                                &d->faults_, d->n_,
                                                *statemachine_);
   }
@@ -242,7 +281,7 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
     topts.n = d->n_;
     topts.f = d->f_;
     topts.workload = workload;
-    d->tree_ = std::make_unique<TreeRsm>(&d->sim_, d->net_.get(),
+    d->tree_ = std::make_unique<TreeRsm>(d->simp_, d->net_.get(),
                                          d->keys_.get(), &d->matrix_, topts);
 
     d->search_params_ = search_params_.value_or(AnnealingParams::ForBudget(5000));
@@ -289,7 +328,7 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
       d->pipeline_ = std::make_unique<Pipeline>(
           /*self=*/0, d->n_, d->f_, d->keys_.get(), d->tree_space_.get(),
           [dp](Bytes payload) {
-            AppendMeasurement(dp->log_, dp->sim_.now(), std::move(payload));
+            AppendMeasurement(dp->log_, dp->sim().now(), std::move(payload));
           },
           /*reconfigure=*/[](const RoleConfig&, double) {}, popts);
       d->log_.AddListener([dp](const LogEntry& e) { dp->pipeline_->OnCommit(e); });
@@ -313,7 +352,7 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
     if (workload.has_value()) {
       popts.workload = workload;
     }
-    d->pbft_ = std::make_unique<PbftHarness>(&d->sim_, d->net_.get(),
+    d->pbft_ = std::make_unique<PbftHarness>(d->simp_, d->net_.get(),
                                              d->keys_.get(), popts);
   }
 
@@ -321,11 +360,17 @@ std::unique_ptr<Deployment> Deployment::Builder::Build() {
     Deployment* dp = d.get();
     if (d->tree_ != nullptr) {
       d->tree_->BindStateMachine(d->rsm_group_.get());
-      d->rsm_group_->SetOnRecovered(
-          [dp](ReplicaId id, SimTime) { dp->tree_->OnReplicaRecovered(id); });
     } else {
       d->pbft_->BindStateMachine(d->rsm_group_.get());
     }
+    d->rsm_group_->SetOnRecovered([dp](ReplicaId id, SimTime at) {
+      if (dp->tree_ != nullptr) {
+        dp->tree_->OnReplicaRecovered(id);
+      }
+      for (const auto& hook : dp->recovered_hooks_) {
+        hook(id, at);
+      }
+    });
   }
 
   if (faults_) {

@@ -38,10 +38,13 @@
 #include "src/net/network.h"
 #include "src/pbft/pbft_rsm.h"
 #include "src/rsm/log.h"
+#include "src/shard/txn_options.h"
 #include "src/statemachine/group.h"
 #include "src/tree/tree_space.h"
 
 namespace optilog {
+
+class ShardedDeployment;
 
 enum class Protocol {
   kHotStuff,   // star of depth 1; rotate_root in TreeRsmOptions gives -rr
@@ -62,7 +65,11 @@ class Deployment {
   class Builder;
 
   // --- substrate -------------------------------------------------------------
-  Simulator& sim() { return sim_; }
+  // The simulator this deployment schedules on: its own by default, the
+  // shared one when it is a shard of a ShardedDeployment (src/shard/) —
+  // sharing one (time, seq) event order is what keeps multi-group runs
+  // byte-identical at any --threads value.
+  Simulator& sim() { return *simp_; }
   Network& net() { return *net_; }
   FaultModel& faults() { return faults_; }
   const KeyStore& keys() const { return *keys_; }
@@ -86,10 +93,22 @@ class Deployment {
   // deployment only counts messages.
   const RsmGroup* state_machines() const { return rsm_group_.get(); }
 
+  // Runs after a crashed replica recovers to the live frontier, in addition
+  // to the engine's own rebinding. The shard layer hooks its transaction
+  // coordinators here.
+  void AddRecoveredHook(std::function<void(ReplicaId, SimTime)> hook) {
+    recovered_hooks_.push_back(std::move(hook));
+  }
+
+  // Declarative crash window for a replica, armed after Build: crash at
+  // `crash_at`, restart amnesiac and state-transfer back at `recover_at`.
+  // The post-Build twin of WithFaults + the builder's recovery arming loop.
+  void ScheduleCrash(ReplicaId id, SimTime crash_at, SimTime recover_at);
+
   // --- lifecycle -------------------------------------------------------------
   void Start() { engine().Start(); }
-  void RunFor(SimTime d) { sim_.RunFor(d); }
-  void RunUntil(SimTime t) { sim_.RunUntil(t); }
+  void RunFor(SimTime d) { sim().RunFor(d); }
+  void RunUntil(SimTime t) { sim().RunUntil(t); }
   // The engine's metrics, with log_head_hex filled from the deployment's
   // measurement bus when the engine doesn't own one (tree protocols under
   // WithOptiLogReconfig commit through the deployment log).
@@ -107,8 +126,12 @@ class Deployment {
   std::vector<City> cities_;
 
   // Substrate. Declaration order doubles as construction order: engines
-  // reference everything above them.
+  // reference everything above them. `simp_` is the simulator everything
+  // actually schedules on: `&sim_` for a standalone deployment, the shared
+  // simulator when this deployment is one shard of a ShardedDeployment (the
+  // owned `sim_` then sits idle).
   Simulator sim_;
+  Simulator* simp_ = &sim_;
   FaultModel faults_;
   std::unique_ptr<GeoLatencyModel> latency_model_;
   std::unique_ptr<Network> net_;
@@ -134,6 +157,10 @@ class Deployment {
   // crash-recovery state transfer. The engines hold a raw pointer to it
   // (BindStateMachine) but never touch it during destruction.
   std::unique_ptr<RsmGroup> rsm_group_;
+
+  // Extra recovery listeners beyond the engine's own rebinding
+  // (AddRecoveredHook); the shard layer's coordinators live here.
+  std::vector<std::function<void(ReplicaId, SimTime)>> recovered_hooks_;
 };
 
 class Deployment::Builder {
@@ -203,6 +230,18 @@ class Deployment::Builder {
   // picks the next tree over the surviving candidates.
   Builder& WithOptiLogReconfig(SimTime search_window = 1 * kSec);
 
+  // --- sharding (src/shard/; consumed by BuildSharded) -----------------------
+  // Partition the KV keyspace across `shards` independent consensus groups
+  // (each a full engine + RsmGroup on its own network) sharing one
+  // simulator. 1 = a single group, byte-identical to Build().
+  Builder& WithShards(uint32_t shards);
+  // Fraction of transactions that span >= 2 shards (2PC via the home
+  // shard's coordinator); the rest take the single-shard fast path.
+  Builder& WithCrossShardRatio(double ratio);
+  // Transaction fleet configuration; clients_per_shard > 0 swaps the
+  // per-shard ClientFleets for one multi-shard transaction fleet.
+  Builder& WithTxnWorkload(TxnWorkloadOptions opts);
+
   // A value copy of the builder's configuration so far. Sweeps stamp out
   // per-point deployments from one base recipe:
   //
@@ -217,7 +256,19 @@ class Deployment::Builder {
 
   std::unique_ptr<Deployment> Build();
 
+  // Builds WithShards groups on one shared simulator, with the KeyRouter,
+  // transaction coordinators, and transaction fleet wired (src/shard/).
+  // With shards == 1 and no transaction workload the single group is
+  // byte-identical to Build() — same event sequence, same metrics.
+  std::unique_ptr<ShardedDeployment> BuildSharded();
+
  private:
+  friend class optilog::ShardedDeployment;
+
+  // Build() with the group's simulator swapped for `external` (the sharded
+  // deployment's shared one); nullptr = the deployment's own.
+  std::unique_ptr<Deployment> BuildInternal(Simulator* external);
+
   std::optional<uint32_t> n_;
   std::optional<uint32_t> f_;
   std::vector<City> cities_;
@@ -234,6 +285,9 @@ class Deployment::Builder {
   std::optional<AnnealingParams> search_params_;
   bool optilog_reconfig_ = false;
   SimTime search_window_ = 0;
+  uint32_t shards_ = 1;
+  double cross_shard_ratio_ = 0.0;
+  TxnWorkloadOptions txn_workload_;
 };
 
 }  // namespace optilog

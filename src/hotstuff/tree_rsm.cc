@@ -182,8 +182,10 @@ TreeRsm::TreeRsm(Simulator* sim, Network* net, const KeyStore* keys,
       w.replies_needed = 1;  // the root's commit-stamped reply
     }
     queue_ = std::make_unique<RequestQueue>(w.batch);
-    fleet_ = std::make_unique<ClientFleet>(
-        sim_, net_, opts_.n, std::move(w), [this] { return tree_.root(); });
+    if (w.spawn_fleet) {
+      fleet_ = std::make_unique<ClientFleet>(
+          sim_, net_, opts_.n, std::move(w), [this] { return tree_.root(); });
+    }
   }
 }
 
@@ -236,6 +238,9 @@ MetricsReport TreeRsm::Metrics() const {
   report.event_core = sim_->event_core_stats();
   if (fleet_ != nullptr) {
     fleet_->FillReport(report.workload);
+  }
+  if (queue_ != nullptr) {
+    report.workload.enabled = true;
     FillQueueReport(*queue_, report.workload);
   }
   if (group_ != nullptr) {
@@ -246,9 +251,11 @@ MetricsReport TreeRsm::Metrics() const {
 
 void TreeRsm::Start() {
   started_ = true;
-  if (fleet_ != nullptr) {
-    fleet_->Start();  // rounds start when requests arrive
-    return;
+  if (queue_ != nullptr) {
+    if (fleet_ != nullptr) {
+      fleet_->Start();
+    }
+    return;  // workload mode: rounds start when requests arrive
   }
   for (uint32_t i = 0; i < opts_.pipeline_depth; ++i) {
     StartRound();
@@ -267,7 +274,8 @@ void TreeRsm::OnClientRequest(ReplicaId receiver, const MessagePtr& msg) {
     net_->Send(receiver, tree_.root(), msg);
     return;
   }
-  if (queue_->Push(RequestRef{req.client, req.request_id, req.sent_at, req.op},
+  if (queue_->Push(RequestRef{req.client, req.request_id, req.sent_at, req.op,
+                              req.shard},
                    sim_->now()) == RequestQueue::Admit::kAccepted) {
     PumpWorkload(false);
   }

@@ -277,8 +277,10 @@ PbftHarness::PbftHarness(Simulator* sim, Network* net, const KeyStore* keys,
     w.replies_needed = opts_.f + 1;
   }
   queue_ = std::make_unique<RequestQueue>(w.batch);
-  fleet_ = std::make_unique<ClientFleet>(
-      sim_, net_, opts_.n, std::move(w), [this] { return config_.leader; });
+  if (w.spawn_fleet) {
+    fleet_ = std::make_unique<ClientFleet>(
+        sim_, net_, opts_.n, std::move(w), [this] { return config_.leader; });
+  }
 
   net_->SetProposalClassifier(
       [](const Message& m) { return m.type() == kMsgPrePrepare; });
@@ -289,7 +291,9 @@ PbftHarness::PbftHarness(Simulator* sim, Network* net, const KeyStore* keys,
 
 void PbftHarness::Start() {
   started_ = true;
-  fleet_->Start();
+  if (fleet_ != nullptr) {
+    fleet_->Start();
+  }
   if (opts_.mode != PbftMode::kPbft) {
     RunProbeRound();
     sim_->ScheduleTimerAt(opts_.optimize_at, this, kTimerAwareOptimize);
@@ -335,7 +339,10 @@ MetricsReport PbftHarness::Metrics() const {
   report.suspicion_times = suspicion_times_;
   report.log_head_hex = DigestHex(log_.head());
   report.event_core = sim_->event_core_stats();
-  fleet_->FillReport(report.workload);
+  if (fleet_ != nullptr) {
+    fleet_->FillReport(report.workload);
+  }
+  report.workload.enabled = true;
   FillQueueReport(*queue_, report.workload);
   if (group_ != nullptr) {
     group_->FillReport(report.statemachine, sim_->now());
@@ -360,7 +367,8 @@ void PbftHarness::OnClientRequest(ReplicaId receiver, const MessagePtr& msg) {
     net_->Send(receiver, config_.leader, msg);
     return;
   }
-  if (queue_->Push(RequestRef{req.client, req.request_id, req.sent_at, req.op},
+  if (queue_->Push(RequestRef{req.client, req.request_id, req.sent_at, req.op,
+                              req.shard},
                    sim_->now()) != RequestQueue::Admit::kAccepted) {
     return;
   }

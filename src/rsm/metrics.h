@@ -113,6 +113,39 @@ struct StateMachineReport {
   double catchup_ms_max = 0.0;
 };
 
+// Cross-shard transaction accounting (src/shard/), filled only by sharded
+// deployments with a transaction workload; all zeros with `enabled == false`
+// otherwise. Counts split client-side outcomes (submitted / committed /
+// aborted / retried) from coordinator-side 2PC traffic (prepares, no-votes,
+// recovery re-drives). Latency percentiles are end-to-end per committed
+// transaction, split single-shard vs cross-shard — the split the shard
+// scaling sweep plots.
+struct TxnReport {
+  bool enabled = false;
+  uint64_t submitted = 0;          // transaction attempts sent by clients
+  uint64_t committed = 0;
+  uint64_t aborted = 0;            // lock-conflict aborts seen by clients
+  uint64_t retried = 0;            // timeout re-sends of an in-flight attempt
+  uint64_t committed_single = 0;   // committed txns touching one shard
+  uint64_t committed_cross = 0;    // committed txns spanning >= 2 shards
+  uint64_t prepares_sent = 0;      // coordinator phase-1 records sent
+  uint64_t votes_no = 0;           // prepare conflicts at participants
+  uint64_t coord_duplicates = 0;   // client retries deduped at coordinators
+  uint64_t recovered_commits = 0;  // decided txns re-driven after a crash
+  uint64_t recovered_aborts = 0;   // in-doubt txns aborted after a crash
+  uint64_t kv_checks = 0;          // model-oracle verifications
+  uint64_t kv_mismatches = 0;
+  std::vector<uint64_t> committed_per_sec;  // committed txns per sim second
+  double single_mean_ms = 0.0;
+  double single_p50_ms = 0.0;
+  double single_p95_ms = 0.0;
+  double single_p99_ms = 0.0;
+  double cross_mean_ms = 0.0;
+  double cross_shard_p50_ms = 0.0;
+  double cross_shard_p95_ms = 0.0;
+  double cross_shard_p99_ms = 0.0;
+};
+
 // Protocol-agnostic snapshot of a run's outcome: what every ConsensusEngine
 // reports regardless of whether "committed" counts tree blocks or PBFT
 // instances. Benches and tests consume this instead of reaching into
@@ -143,6 +176,9 @@ struct MetricsReport {
   // Replicated-state-machine execution/checkpoint/recovery accounting;
   // enabled only under Deployment::Builder::WithStateMachine.
   StateMachineReport statemachine;
+  // Cross-shard transaction accounting; enabled only for sharded
+  // deployments driving a transaction workload (src/shard/).
+  TxnReport txn;
 
   double MeanOps(size_t from_sec, size_t to_sec) const {
     return MeanOpsPerSec(throughput_per_sec, from_sec, to_sec);

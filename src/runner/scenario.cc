@@ -216,6 +216,36 @@ std::string MetricsFingerprint(const MetricsReport& m) {
   u(m.statemachine.transfer_reroutes);
   blob += FormatDouble(m.statemachine.catchup_ms_total) + "|";
   blob += FormatDouble(m.statemachine.catchup_ms_max) + "|";
+  // Transaction section: appended only when a sharded transaction workload
+  // ran, so every pre-sharding fingerprint (and the one-shard-equals-legacy
+  // pin) hashes the exact same blob as before.
+  if (m.txn.enabled) {
+    blob += "txn|";
+    u(m.txn.submitted);
+    u(m.txn.committed);
+    u(m.txn.aborted);
+    u(m.txn.retried);
+    u(m.txn.committed_single);
+    u(m.txn.committed_cross);
+    u(m.txn.prepares_sent);
+    u(m.txn.votes_no);
+    u(m.txn.coord_duplicates);
+    u(m.txn.recovered_commits);
+    u(m.txn.recovered_aborts);
+    u(m.txn.kv_checks);
+    u(m.txn.kv_mismatches);
+    for (uint64_t t : m.txn.committed_per_sec) {
+      u(t);
+    }
+    blob += "|" + FormatDouble(m.txn.single_mean_ms) + "|";
+    blob += FormatDouble(m.txn.single_p50_ms) + "|";
+    blob += FormatDouble(m.txn.single_p95_ms) + "|";
+    blob += FormatDouble(m.txn.single_p99_ms) + "|";
+    blob += FormatDouble(m.txn.cross_mean_ms) + "|";
+    blob += FormatDouble(m.txn.cross_shard_p50_ms) + "|";
+    blob += FormatDouble(m.txn.cross_shard_p95_ms) + "|";
+    blob += FormatDouble(m.txn.cross_shard_p99_ms) + "|";
+  }
   return DigestHex(Sha256::Hash(blob));
 }
 

@@ -1,0 +1,216 @@
+#include "src/shard/sharded_deployment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/crypto/sha256.h"
+#include "src/util/check.h"
+
+namespace optilog {
+
+ShardedDeployment::~ShardedDeployment() = default;
+
+ReplicaId ShardedDeployment::Route(uint32_t s) {
+  Deployment& d = shard(s);
+  if (IsTreeProtocol(d.protocol())) {
+    return d.tree().topology().root();
+  }
+  return d.pbft().config().leader;
+}
+
+uint32_t ShardedDeployment::RepliesNeeded(uint32_t s) {
+  Deployment& d = shard(s);
+  // Tree protocols reply once from the root at the commit boundary; the
+  // PBFT family needs f + 1 matching replies.
+  return IsTreeProtocol(d.protocol()) ? 1 : d.f() + 1;
+}
+
+void ShardedDeployment::Start() {
+  for (auto& d : shards_) {
+    d->Start();
+  }
+  if (fleet_ != nullptr) {
+    fleet_->Start();
+  }
+}
+
+MetricsReport ShardedDeployment::Metrics() {
+  // One shard, no transaction layer: this IS a legacy deployment driving a
+  // shared simulator — hand through its report verbatim so fingerprints
+  // match Build() exactly.
+  if (shards_.size() == 1 && fleet_ == nullptr) {
+    return shards_[0]->Metrics();
+  }
+
+  MetricsReport agg;
+  uint64_t latency_weight = 0;
+  double latency_sum = 0.0;
+  bool digests_equal = true;
+  std::string digest_concat;
+  for (auto& d : shards_) {
+    MetricsReport m = d->Metrics();
+    agg.committed += m.committed;
+    agg.total_commands += m.total_commands;
+    agg.failed_rounds += m.failed_rounds;
+    agg.reconfigurations += m.reconfigurations;
+    agg.suspicions += m.suspicions;
+    latency_sum += m.mean_latency_ms * static_cast<double>(m.committed);
+    latency_weight += m.committed;
+    if (agg.throughput_per_sec.size() < m.throughput_per_sec.size()) {
+      agg.throughput_per_sec.resize(m.throughput_per_sec.size(), 0);
+    }
+    for (size_t i = 0; i < m.throughput_per_sec.size(); ++i) {
+      agg.throughput_per_sec[i] += m.throughput_per_sec[i];
+    }
+    agg.reconfig_times.insert(agg.reconfig_times.end(),
+                              m.reconfig_times.begin(), m.reconfig_times.end());
+    agg.suspicion_times.insert(agg.suspicion_times.end(),
+                               m.suspicion_times.begin(),
+                               m.suspicion_times.end());
+
+    const WorkloadReport& w = m.workload;
+    if (w.enabled) {
+      agg.workload.enabled = true;
+      agg.workload.requests_sent += w.requests_sent;
+      agg.workload.requests_completed += w.requests_completed;
+      agg.workload.requests_retried += w.requests_retried;
+      agg.workload.requests_abandoned += w.requests_abandoned;
+      agg.workload.requests_accepted += w.requests_accepted;
+      agg.workload.requests_dropped += w.requests_dropped;
+      agg.workload.requests_deduped += w.requests_deduped;
+      agg.workload.batches_size_triggered += w.batches_size_triggered;
+      agg.workload.batches_deadline_triggered += w.batches_deadline_triggered;
+      agg.workload.batches_idle_triggered += w.batches_idle_triggered;
+      agg.workload.peak_queue_depth =
+          std::max(agg.workload.peak_queue_depth, w.peak_queue_depth);
+      agg.workload.kv_checks += w.kv_checks;
+      agg.workload.kv_mismatches += w.kv_mismatches;
+    }
+
+    const StateMachineReport& s = m.statemachine;
+    if (s.enabled) {
+      agg.statemachine.enabled = true;
+      agg.statemachine.applied += s.applied;
+      agg.statemachine.checkpoints += s.checkpoints;
+      agg.statemachine.truncations += s.truncations;
+      agg.statemachine.peak_log_entries =
+          std::max(agg.statemachine.peak_log_entries, s.peak_log_entries);
+      agg.statemachine.live_log_entries += s.live_log_entries;
+      digests_equal = digests_equal && s.digests_equal != 0;
+      digest_concat += s.state_digest_hex;
+      agg.statemachine.recoveries_started += s.recoveries_started;
+      agg.statemachine.recoveries_completed += s.recoveries_completed;
+      agg.statemachine.catchups_started += s.catchups_started;
+      agg.statemachine.transfer_bytes += s.transfer_bytes;
+      agg.statemachine.transfer_chunks += s.transfer_chunks;
+      agg.statemachine.transfer_reroutes += s.transfer_reroutes;
+      agg.statemachine.catchup_ms_total += s.catchup_ms_total;
+      agg.statemachine.catchup_ms_max =
+          std::max(agg.statemachine.catchup_ms_max, s.catchup_ms_max);
+    }
+  }
+  std::sort(agg.reconfig_times.begin(), agg.reconfig_times.end());
+  std::sort(agg.suspicion_times.begin(), agg.suspicion_times.end());
+  if (latency_weight > 0) {
+    agg.mean_latency_ms = latency_sum / static_cast<double>(latency_weight);
+  }
+  if (agg.statemachine.enabled) {
+    agg.statemachine.digests_equal = digests_equal ? 1 : 0;
+    // One digest over the ordered per-shard digests: the whole-deployment
+    // state identity the sharding tests pin.
+    agg.statemachine.state_digest_hex =
+        digests_equal ? DigestHex(Sha256::Hash(digest_concat)) : "";
+  }
+  // Every shard schedules on the shared simulator, so any shard's event-core
+  // view is THE event-core view.
+  agg.event_core = shards_[0]->Metrics().event_core;
+
+  if (fleet_ != nullptr) {
+    fleet_->FillReport(agg.txn);
+    for (auto& coord : coordinators_) {
+      const TxnCoordinator::Stats& cs = coord->stats();
+      agg.txn.prepares_sent += cs.prepares_sent;
+      agg.txn.votes_no += cs.votes_no;
+      agg.txn.coord_duplicates += cs.duplicates;
+      agg.txn.recovered_commits += cs.recovered_commits;
+      agg.txn.recovered_aborts += cs.recovered_aborts;
+    }
+  }
+  return agg;
+}
+
+// --- Builder::BuildSharded ---------------------------------------------------
+
+std::unique_ptr<ShardedDeployment> Deployment::Builder::BuildSharded() {
+  auto sd = std::unique_ptr<ShardedDeployment>(new ShardedDeployment());
+  const uint64_t base_seed = seed_.value_or(1);
+  const uint32_t shards = shards_;
+  const bool txn_mode = txn_workload_.clients_per_shard > 0;
+  sd->router_ = KeyRouter(RouterKind::kHash, shards);
+  sd->cross_pct_ = static_cast<uint32_t>(
+      std::llround(cross_shard_ratio_ * 100.0));
+  sd->txn_opts_ = txn_workload_;
+
+  if (txn_mode) {
+    OL_CHECK_MSG(workload_.has_value() && statemachine_.has_value(),
+                 "WithTxnWorkload requires WithWorkload + WithStateMachine");
+  }
+
+  const uint32_t total_clients = txn_workload_.clients_per_shard * shards;
+  for (uint32_t s = 0; s < shards; ++s) {
+    Builder b = Clone();
+    // Shard 0 keeps the base seed so a 1-shard build replays Build()
+    // event-for-event; the rest fold the shard index in.
+    if (s > 0) {
+      b.seed_ = base_seed ^ 0x9e3779b97f4a7c15ULL * s;
+    } else {
+      b.seed_ = base_seed;
+    }
+    if (txn_mode) {
+      // The transaction fleet replaces the per-shard client fleets; the
+      // shard still needs latency-model slots for the coordinators and
+      // clients registered on its network (ids n .. n+shards+clients-1).
+      b.workload_->spawn_fleet = false;
+      b.workload_->extra_client_slots = shards + total_clients;
+    }
+    sd->shards_.push_back(b.BuildInternal(&sd->sim_));
+  }
+  sd->n_ = sd->shards_[0]->n();
+  for (auto& d : sd->shards_) {
+    OL_CHECK(d->n() == sd->n_);
+  }
+
+  if (txn_mode) {
+    for (uint32_t s = 0; s < shards; ++s) {
+      const ReplicaId anchor = sd->Route(s);
+      auto coord = std::make_unique<TxnCoordinator>(
+          sd.get(), s, sd->coordinator_id(s), anchor);
+      TxnCoordinator* cp = coord.get();
+      for (uint32_t t = 0; t < shards; ++t) {
+        sd->shards_[t]->net().Register(cp->id(), cp);
+      }
+      sd->shards_[s]->AddRecoveredHook([cp, anchor](ReplicaId id, SimTime at) {
+        if (id == anchor) {
+          cp->OnAnchorRecovered(at);
+        }
+      });
+      sd->coordinators_.push_back(std::move(coord));
+    }
+
+    TxnWorkloadOptions fopts = txn_workload_;
+    fopts.seed = fopts.seed * 0x9e3779b97f4a7c15ULL ^ base_seed;
+    sd->fleet_ = std::make_unique<TxnFleet>(
+        sd.get(), /*base_id=*/sd->n_ + shards, total_clients, sd->cross_pct_,
+        fopts);
+    for (uint32_t i = 0; i < sd->fleet_->size(); ++i) {
+      TxnClient& client = sd->fleet_->client(i);
+      for (uint32_t t = 0; t < shards; ++t) {
+        sd->shards_[t]->net().Register(client.id(), &client);
+      }
+    }
+  }
+  return sd;
+}
+
+}  // namespace optilog

@@ -1,0 +1,82 @@
+// ShardedDeployment: N consensus groups, one simulator, one keyspace.
+//
+// Built by Deployment::Builder::BuildSharded(). Each shard is a complete
+// Deployment — its own Network, FaultModel, KeyStore, engine, and RsmGroup —
+// constructed on the shared Simulator, so every event across every group
+// drains through one (time, seq) order and multi-group runs inherit the
+// byte-identical-at-any---threads guarantee for free. The KeyRouter
+// partitions the u64 KV keyspace; the transaction layer (TxnCoordinator per
+// shard + one TxnFleet, when WithTxnWorkload names clients) turns the groups
+// into one sharded store with cross-shard 2PC transactions.
+//
+// Id layout (every shard has the same n replicas): per shard network,
+// replicas are 0..n-1, coordinator of shard s is n+s, and transaction
+// client i is n+shards+i. Coordinators and clients are registered on EVERY
+// shard's network under the same id — cross-shard sends are ordinary
+// Network::Send calls on the target shard's network.
+//
+// A 1-shard deployment with no transaction workload delegates Metrics() to
+// its single group verbatim, which is what pins one-shard-equals-legacy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/api/deployment.h"
+#include "src/shard/key_router.h"
+#include "src/shard/txn_coordinator.h"
+#include "src/shard/txn_fleet.h"
+
+namespace optilog {
+
+class ShardedDeployment {
+ public:
+  ~ShardedDeployment();
+
+  // --- shards ----------------------------------------------------------------
+  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+  Deployment& shard(uint32_t s) { return *shards_.at(s); }
+  const KeyRouter& router() const { return router_; }
+  Simulator& sim() { return sim_; }
+  uint32_t replicas_per_shard() const { return n_; }
+  uint32_t cross_shard_pct() const { return cross_pct_; }
+  const TxnWorkloadOptions& txn_options() const { return txn_opts_; }
+
+  // --- transaction layer (nullptr / empty without WithTxnWorkload) -----------
+  TxnCoordinator* coordinator(uint32_t s) {
+    return s < coordinators_.size() ? coordinators_[s].get() : nullptr;
+  }
+  TxnFleet* txn_fleet() { return fleet_.get(); }
+  ReplicaId coordinator_id(uint32_t s) const { return n_ + s; }
+  // Replica currently serving shard `s` (tree root / PBFT leader).
+  ReplicaId Route(uint32_t s);
+  // Distinct replies that complete a client-visible record on shard `s`
+  // (1 for the tree family, f+1 for PBFT).
+  uint32_t RepliesNeeded(uint32_t s);
+
+  // --- lifecycle -------------------------------------------------------------
+  void Start();
+  void RunFor(SimTime d) { sim_.RunFor(d); }
+  void RunUntil(SimTime t) { sim_.RunUntil(t); }
+
+  // Aggregate metrics: per-shard sums, element-wise throughput, the shared
+  // event core, AND-of-shards digest agreement, and the transaction report.
+  // Exactly the single shard's report for a 1-shard, no-txn deployment.
+  MetricsReport Metrics();
+  MetricsReport ShardMetrics(uint32_t s) { return shards_.at(s)->Metrics(); }
+
+ private:
+  friend class Deployment::Builder;
+  ShardedDeployment() = default;
+
+  Simulator sim_;
+  KeyRouter router_;
+  uint32_t n_ = 0;
+  uint32_t cross_pct_ = 0;
+  TxnWorkloadOptions txn_opts_;
+  std::vector<std::unique_ptr<Deployment>> shards_;
+  std::vector<std::unique_ptr<TxnCoordinator>> coordinators_;
+  std::unique_ptr<TxnFleet> fleet_;
+};
+
+}  // namespace optilog

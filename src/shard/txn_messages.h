@@ -1,0 +1,51 @@
+// Wire messages between transaction clients and shard coordinators.
+//
+// A cross-shard transaction travels client -> coordinator (TxnRequestMsg),
+// then as ordinary ClientRequestMsgs carrying encoded KvTxnOp records into
+// each participant shard's log (the coordinator is just another client of
+// each group), and finally coordinator -> client (TxnReplyMsg). Single-shard
+// transactions skip the coordinator entirely: the client sends a kMulti
+// record straight to the shard leader.
+#pragma once
+
+#include "src/crypto/signature.h"
+#include "src/sim/message.h"
+#include "src/sim/time.h"
+#include "src/statemachine/state_machine.h"
+
+namespace optilog {
+
+enum ShardMsgType {
+  kMsgTxnRequest = 40,
+  kMsgTxnReply = 41,
+};
+
+struct TxnRequestMsg : Message {
+  ReplicaId client = kNoReplica;
+  uint64_t request_id = 0;  // monotonic per client; coordinator dedup key
+  SimTime sent_at = 0;
+  std::vector<KvOp> ops;
+
+  int type() const override { return kMsgTxnRequest; }
+  size_t WireSize() const override {
+    return 24 + ops.size() * 17 + kSignatureSize;
+  }
+  std::string Name() const override { return "TxnRequest"; }
+};
+
+struct TxnReplyMsg : Message {
+  uint64_t request_id = 0;
+  bool committed = false;
+  // Per-op results in op order for a commit decided on the normal path;
+  // empty for a commit re-driven after coordinator recovery (the durable
+  // decision record proves the outcome, not the values).
+  Bytes results;
+
+  int type() const override { return kMsgTxnReply; }
+  size_t WireSize() const override {
+    return 16 + results.size() + kSignatureSize;
+  }
+  std::string Name() const override { return "TxnReply"; }
+};
+
+}  // namespace optilog

@@ -18,8 +18,10 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "src/crypto/sha256.h"
+#include "src/sim/ids.h"
 #include "src/util/bytes.h"
 
 namespace optilog {
@@ -47,6 +49,54 @@ struct KvResult {
 
   Bytes Encode() const;
   static bool Decode(const Bytes& in, KvResult* out);
+};
+
+// --- cross-shard transactions (src/shard/) ----------------------------------
+//
+// Transaction records share the committed-operation byte stream with plain
+// KvOps: their first byte is a tag >= 0x10, disjoint from KvOpKind (0..2),
+// so legacy operations decode exactly as before. Each record is an ordinary
+// log entry — replicated, snapshotted, and replayed by the existing
+// machinery — which is what makes coordinator crash recovery possible: the
+// home shard's committed prepare/commit records ARE the coordinator's
+// durable state.
+enum class TxnTag : uint8_t {
+  kMulti = 0x10,    // single-shard multi-key op: atomic, aborts on any lock
+  kPrepare = 0x11,  // phase 1: conflict-check, lock keys, record intent
+  kCommit = 0x12,   // phase 2: apply the prepared ops, record the decision
+  kAbort = 0x13,    // phase 2: drop the prepared intent and its locks
+  kEnd = 0x14,      // post-reply GC: forget the decided-transaction record
+};
+
+struct KvTxnOp {
+  TxnTag tag = TxnTag::kMulti;
+  uint64_t txn_id = 0;           // all tags except kMulti
+  std::vector<KvOp> ops;         // kMulti / kPrepare
+  // Home-shard prepare records carry the coordinator's durable state: the
+  // participant shard list and the originating client request identity
+  // (empty / kNoReplica on remote participants).
+  std::vector<uint32_t> participants;
+  ReplicaId client = kNoReplica;
+  uint64_t client_req = 0;
+
+  Bytes Encode() const;
+  static bool Decode(const Bytes& in, KvTxnOp* out);
+  // Whether committed bytes hold a transaction record (vs a legacy KvOp).
+  static bool IsTxn(const Bytes& in) {
+    return !in.empty() && in[0] >= 0x10 && in[0] <= 0x14;
+  }
+};
+
+// Reply to any transaction record. `ok` is the vote (kPrepare), decision
+// applicability (kCommit: false = unknown transaction), or a no-op for the
+// idempotent tags; `results` carries per-op KvResults for kMulti and
+// kCommit, in op order.
+struct KvMultiResult {
+  bool ok = false;
+  std::vector<KvResult> results;
+
+  Bytes Encode() const;
+  static bool Decode(const Bytes& in, KvMultiResult* out);
 };
 
 // What consensus executes at the commit boundary. Implementations must be
@@ -84,8 +134,41 @@ class KvStateMachine : public StateMachine {
   size_t size() const { return kv_.size(); }
   const std::map<uint64_t, uint64_t>& state() const { return kv_; }
 
+  // A prepared (in-doubt) transaction: its ops are locked but not applied.
+  struct PreparedTxn {
+    std::vector<KvOp> ops;
+    std::vector<uint32_t> participants;  // non-empty only at the home shard
+    ReplicaId client = kNoReplica;
+    uint64_t client_req = 0;
+  };
+  // A committed transaction whose kEnd has not arrived yet, kept so commit
+  // re-drives (coordinator recovery, duplicate deliveries) stay idempotent
+  // and return the original results.
+  struct DecidedTxn {
+    std::vector<uint32_t> participants;
+    ReplicaId client = kNoReplica;
+    uint64_t client_req = 0;
+    Bytes results;  // the encoded KvMultiResult the commit produced
+  };
+
+  // Recovery surface: a restarted coordinator reads its home shard's
+  // materialized tables to re-drive decided transactions and abort in-doubt
+  // ones (src/shard/txn_coordinator.cc).
+  const std::map<uint64_t, PreparedTxn>& prepared() const { return prepared_; }
+  const std::map<uint64_t, DecidedTxn>& decided() const { return decided_; }
+  const std::map<uint64_t, uint64_t>& locks() const { return locks_; }
+
  private:
+  KvResult ApplyOne(const KvOp& op);
+  Bytes ApplyTxn(const KvTxnOp& txn);
+  void Unlock(uint64_t txn_id, const std::vector<KvOp>& ops);
+
   std::map<uint64_t, uint64_t> kv_;
+  std::map<uint64_t, PreparedTxn> prepared_;
+  std::map<uint64_t, DecidedTxn> decided_;
+  // key -> owning txn id; derived from prepared_ (rebuilt on Restore), so
+  // it stays out of the snapshot encoding.
+  std::map<uint64_t, uint64_t> locks_;
 };
 
 }  // namespace optilog

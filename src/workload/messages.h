@@ -29,6 +29,10 @@ struct RequestRef {
   uint64_t request_id = 0;
   SimTime sent_at = 0;  // the client's original send (retries keep it)
   Bytes op;
+  // Shard the request targets (sharded deployments); request ids are
+  // monotonic per (client, shard), so the leader-side dedup window keys on
+  // the pair. Always 0 for single-group deployments.
+  uint32_t shard = 0;
 };
 
 struct ClientRequestMsg : Message {
@@ -37,6 +41,7 @@ struct ClientRequestMsg : Message {
   SimTime sent_at = 0;
   size_t payload_bytes = 0;
   Bytes op;  // encoded state-machine operation (may be empty)
+  uint32_t shard = 0;  // target shard (sharded deployments; else 0)
 
   int type() const override { return kMsgClientRequest; }
   size_t WireSize() const override {

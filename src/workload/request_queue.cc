@@ -5,7 +5,7 @@
 namespace optilog {
 
 RequestQueue::Admit RequestQueue::Push(const RequestRef& req, SimTime now) {
-  ClientWindow& w = windows_[req.client];
+  ClientWindow& w = windows_[{req.client, req.shard}];
   if (req.request_id < w.floor || w.seen.count(req.request_id) > 0) {
     ++duplicates_;
     return Admit::kDuplicate;

@@ -16,6 +16,7 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -78,14 +79,18 @@ class RequestQueue {
     RequestRef req;
     SimTime enqueued_at = 0;
   };
-  // Per-client duplicate window: ids below `floor` are long done; ids in
-  // `seen` were admitted and not yet pruned. Clients issue monotonically
-  // increasing ids, so pruning the smallest keeps the window tight without
-  // letting a late retry of a served request back in. The safe side of the
-  // trade-off: an id that ages past the floor can never be re-admitted
-  // (never double-committed) even if it was originally dropped — the
-  // client-side retry cap (WorkloadOptions::max_retries) turns that corner
-  // into accounted abandonment instead of an eternal retry loop.
+  // Per-(client, shard) duplicate window: ids below `floor` are long done;
+  // ids in `seen` were admitted and not yet pruned. Clients issue
+  // monotonically increasing ids per shard, so pruning the smallest keeps
+  // the window tight without letting a late retry of a served request back
+  // in. Keying on the shard as well as the client matters for sharded
+  // deployments: one client (or one transaction coordinator) fans the same
+  // id out to several shards, and a client-only window would falsely dedup
+  // the later arrivals. The safe side of the trade-off: an id that ages
+  // past the floor can never be re-admitted (never double-committed) even
+  // if it was originally dropped — the client-side retry cap
+  // (WorkloadOptions::max_retries) turns that corner into accounted
+  // abandonment instead of an eternal retry loop.
   struct ClientWindow {
     uint64_t floor = 0;
     std::set<uint64_t> seen;
@@ -93,7 +98,7 @@ class RequestQueue {
 
   BatchPolicy policy_;
   std::deque<Entry> queue_;
-  std::map<ReplicaId, ClientWindow> windows_;
+  std::map<std::pair<ReplicaId, uint32_t>, ClientWindow> windows_;
   uint64_t accepted_ = 0;
   uint64_t dropped_ = 0;
   uint64_t duplicates_ = 0;

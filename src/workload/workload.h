@@ -89,6 +89,13 @@ struct WorkloadOptions {
   uint64_t seed = 1;
   BatchPolicy batch;  // leader-side batching (see request_queue.h)
   KvWorkloadOptions kv;  // real KV operations + oracle (WithStateMachine)
+  // Sharded deployments drive every group from one transaction fleet
+  // (src/shard/) instead of a per-group ClientFleet: the harness still owns
+  // its RequestQueue (batching, dedup) but spawns no clients of its own.
+  bool spawn_fleet = true;
+  // Extra client slots appended to the latency model beyond the fleet's own
+  // (coordinators and transaction clients registered by ShardedDeployment).
+  uint32_t extra_client_slots = 0;
 };
 
 struct ClientSample {

@@ -60,6 +60,11 @@ def parse_args(argv):
         "transfer_chunks": 0.10,
         "xfer_bytes": 0.10,
         "chunks": 0.10,
+        # Shard scaling: abort counts and cross-shard tail percentiles ride
+        # on retry/backoff interleavings that a latency-headroom shift can
+        # reorder; throughput and commit counts stay exactly gated.
+        "txn_abort*": 0.25,
+        "cross_shard_p*_ms": 0.10,
     }
     tols = {}
     for spec in args.tol:
