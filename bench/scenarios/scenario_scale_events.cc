@@ -1,11 +1,14 @@
-// Event-core scaling sweep: n ∈ {50, 100, 200, 400} tree replicas running
-// the Kauri dissemination tree, reporting how fast the slab-backed
-// simulator drains the resulting message traffic.
+// Event-core scaling sweep: n ∈ {50 .. 5000} tree replicas running the
+// Kauri dissemination tree, reporting how fast the time-wheel simulator
+// drains the resulting message traffic.
 //
-// This is the bench the slab event core exists for: every proposal, vote,
-// and aggregate rides the typed delivery lane and every protocol timer the
+// This is the bench the event core exists for: every proposal, vote, and
+// aggregate rides the typed delivery lane and every protocol timer the
 // typed timer lane, so the run must schedule ZERO closure events — asserted
-// below via EventCoreStats. Wall-clock events/sec (the substrate's scaling
+// below via EventCoreStats. The wheel and the message pool get their own
+// asserts at the larger points: after a warm-up quarter of the run the slab
+// must stop growing (ReserveHint sized it from the topology), and the pool
+// hit rate must exceed 90%. Wall-clock events/sec (the substrate's scaling
 // headroom) is advisory and lives in the run's wall_ms; the deterministic
 // rows carry the counters.
 #include "bench/scenarios/common.h"
@@ -16,6 +19,7 @@ namespace optilog {
 namespace {
 
 constexpr SimTime kRunTime = 20 * kSec;
+constexpr SimTime kWarmup = kRunTime / 4;
 
 PointResult RunPoint(const Params& p) {
   const uint32_t n = static_cast<uint32_t>(p.GetInt("n"));
@@ -28,7 +32,12 @@ PointResult RunPoint(const Params& p) {
                .WithSeed(7)
                .Build();
   d->Start();
+  d->RunUntil(kWarmup);
+  const size_t warm_slab = d->sim().slab_capacity();
   d->RunUntil(kRunTime);
+  // ReserveHint sized the slab from the topology; steady state must not
+  // grow it past what the warm-up quarter already touched.
+  OL_CHECK(d->sim().slab_capacity() == warm_slab);
   const MetricsReport m = d->Metrics();
   const EventCoreStats& ec = m.event_core;
 
@@ -37,6 +46,11 @@ PointResult RunPoint(const Params& p) {
   OL_CHECK(ec.closure_events == 0);
   OL_CHECK(ec.typed_deliveries > 0 && ec.typed_timers > 0);
   OL_CHECK(m.committed > 0);
+  if (n >= 1000) {
+    // At scale the size-classed free lists must be serving the steady
+    // state; misses are the pool warming up, not a recurring cost.
+    OL_CHECK(ec.message_pool_hit_rate() > 0.9);
+  }
 
   PointResult pr;
   pr.rows.push_back({std::to_string(n), std::to_string(m.committed),
@@ -44,7 +58,10 @@ PointResult RunPoint(const Params& p) {
                      std::to_string(ec.typed_deliveries),
                      std::to_string(ec.allocations_avoided()),
                      std::to_string(ec.peak_slab_slots),
-                     std::to_string(ec.peak_pending)});
+                     std::to_string(ec.peak_pending),
+                     std::to_string(ec.message_pool_hits),
+                     std::to_string(ec.message_pool_misses),
+                     std::to_string(ec.wheel_overflow_events)});
   pr.metrics = {{"committed", static_cast<double>(m.committed)},
                 {"events", static_cast<double>(ec.events_executed)}};
   FillOutcome(pr, m);
@@ -55,8 +72,8 @@ Scenario Make() {
   Scenario s;
   s.name = "scale_events";
   s.description =
-      "Slab event-core scaling on Kauri trees (n = 50..400): zero closure "
-      "events, flat per-event cost";
+      "Time-wheel event-core scaling on Kauri trees (n = 50..5000): zero "
+      "closure events, pooled messages, flat per-event cost";
   s.tags = {"perf", "tier1"};
   s.columns = {"n",
                "blocks",
@@ -64,8 +81,11 @@ Scenario Make() {
                "typed_deliveries",
                "allocations_avoided",
                "peak_slab_slots",
-               "peak_pending"};
-  s.grid = {{"n", {"50", "100", "200", "400"}}};
+               "peak_pending",
+               "pool_hits",
+               "pool_misses",
+               "wheel_overflow"};
+  s.grid = {{"n", {"50", "100", "200", "400", "1000", "5000"}}};
   s.run = RunPoint;
   return s;
 }

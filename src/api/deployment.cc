@@ -240,6 +240,13 @@ std::unique_ptr<Deployment> Deployment::Builder::BuildInternal(
   std::vector<City> model_cities =
       client_count > 0 ? WithColocatedClients(d->cities_, client_count)
                        : d->cities_;
+  if (heap_scheduler_) {
+    d->simp_->UseHeapScheduler();
+  }
+  // Topology-derived peak-pending estimate: every replica can have a few
+  // in-flight deliveries per round plus a timer, and each client one
+  // outstanding request — sized so steady state never grows the slab.
+  d->simp_->ReserveHint(4 * (static_cast<size_t>(d->n_) + client_count) + 64);
   d->latency_model_ = std::make_unique<GeoLatencyModel>(model_cities);
   d->net_ = std::make_unique<Network>(d->simp_, d->latency_model_.get(),
                                       &d->faults_);
@@ -248,15 +255,24 @@ std::unique_ptr<Deployment> Deployment::Builder::BuildInternal(
   }
   d->keys_ = std::make_unique<KeyStore>(d->n_, seed);
 
-  // The measured latency matrix after one complete probe round.
-  const auto rtts = RttMatrixMs(d->cities_);
-  d->matrix_.Reset(d->n_);
-  for (ReplicaId a = 0; a < d->n_; ++a) {
-    for (ReplicaId b = 0; b < d->n_; ++b) {
-      if (a != b) {
-        d->matrix_.Record(a, b, rtts[a][b]);
+  // The measured latency matrix after one complete probe round. Probe RTTs
+  // are a function of the city pair only, so compute the trig once per
+  // unique-city pair and hand the matrix the compressed form; distinct
+  // replicas sharing a city get the same 1 ms colocated RTT CityRttMs
+  // reports for a same-name pair.
+  {
+    CityIndex ci = DedupeCities(d->cities_);
+    const size_t u = ci.unique.size();
+    const auto city_rtts = RttMatrixMs(ci.unique);
+    std::vector<double> flat(u * u, 0.0);
+    for (size_t i = 0; i < u; ++i) {
+      for (size_t j = 0; j < u; ++j) {
+        flat[i * u + j] = city_rtts[i][j];
       }
     }
+    ci.index_of.resize(d->n_);  // replicas only; clients are not probed
+    d->matrix_.ResetWithCityBaseline(d->n_, std::move(ci.index_of),
+                                     std::move(flat), u);
   }
 
   // The deployment seed folds into the fleet seed so sweeps that only vary

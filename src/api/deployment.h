@@ -224,6 +224,15 @@ class Deployment::Builder {
   // SA budget for the initial OptiTree search (default ~1 s of search).
   Builder& WithInitialSearch(AnnealingParams params);
 
+  // Runs the deployment on the simulator's legacy binary-heap scheduler
+  // instead of the time wheel. The two are observably identical (pinned by
+  // the cross-scheduler parity test); this exists for that test and for
+  // bisecting scheduler suspicions.
+  Builder& WithHeapScheduler() {
+    heap_scheduler_ = true;
+    return *this;
+  }
+
   // Wire the full OptiLog loop for tree protocols: on every round failure
   // the harness's suspicions are committed to the measurement bus, the
   // monitors update C/G/K/u, proposals pause for `search_window`, and SA
@@ -283,6 +292,7 @@ class Deployment::Builder {
   std::optional<StateMachineOptions> statemachine_;
   std::optional<TreeTopology> topology_;
   std::optional<AnnealingParams> search_params_;
+  bool heap_scheduler_ = false;
   bool optilog_reconfig_ = false;
   SimTime search_window_ = 0;
   uint32_t shards_ = 1;

@@ -7,7 +7,9 @@
 // as unknown; a peer marked unreachable reports infinity.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/measurement.h"
@@ -21,13 +23,37 @@ class LatencyMatrix {
   void Reset(uint32_t n) {
     n_ = n;
     recorded_.assign(n, std::vector<double>(n, kUnknown));
+    city_index_.clear();
+    city_rtt_ms_.clear();
+    city_stride_ = 0;
+    overrides_.clear();
+  }
+
+  // Complete-probe-round initialization, city-compressed. Every ordered
+  // pair (a != b) becomes known with the city-pair RTT (colocated replicas:
+  // 1 ms, the datacenter base delay); later Records land in a sparse
+  // override map. Equivalent to Reset(n) + n² Record calls but O(u²)
+  // storage — at n = 5000 the dense matrix is 200 MB of redundant doubles,
+  // the city form a few hundred KB.
+  void ResetWithCityBaseline(uint32_t n, std::vector<uint32_t> index_of,
+                             std::vector<double> city_rtt_ms, size_t stride) {
+    n_ = n;
+    recorded_.clear();
+    city_index_ = std::move(index_of);
+    city_rtt_ms_ = std::move(city_rtt_ms);
+    city_stride_ = stride;
+    overrides_.clear();
   }
 
   uint32_t size() const { return n_; }
 
   void Record(ReplicaId reporter, ReplicaId peer, double rtt_ms) {
     if (reporter < n_ && peer < n_) {
-      recorded_[reporter][peer] = rtt_ms;
+      if (city_stride_ != 0) {
+        overrides_[Pack(reporter, peer)] = rtt_ms;
+      } else {
+        recorded_[reporter][peer] = rtt_ms;
+      }
     }
   }
 
@@ -40,8 +66,8 @@ class LatencyMatrix {
     if (a >= n_ || b >= n_) {
       return std::numeric_limits<double>::infinity();
     }
-    const double ab = recorded_[a][b];
-    const double ba = recorded_[b][a];
+    const double ab = RecordedAt(a, b);
+    const double ba = RecordedAt(b, a);
     if (ab == kUnknown && ba == kUnknown) {
       return std::numeric_limits<double>::infinity();
     }
@@ -55,8 +81,16 @@ class LatencyMatrix {
   }
 
   bool Known(ReplicaId a, ReplicaId b) const {
-    return a == b || (a < n_ && b < n_ &&
-                      (recorded_[a][b] != kUnknown || recorded_[b][a] != kUnknown));
+    if (a == b) {
+      return true;
+    }
+    if (a >= n_ || b >= n_) {
+      return false;
+    }
+    if (city_stride_ != 0) {
+      return true;  // the baseline covers every pair
+    }
+    return recorded_[a][b] != kUnknown || recorded_[b][a] != kUnknown;
   }
 
   // Fraction of ordered pairs with at least one report; 1.0 = complete.
@@ -65,8 +99,34 @@ class LatencyMatrix {
  private:
   static constexpr double kUnknown = -1.0;
 
+  static uint64_t Pack(ReplicaId a, ReplicaId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  double RecordedAt(ReplicaId a, ReplicaId b) const {
+    if (city_stride_ == 0) {
+      return recorded_[a][b];
+    }
+    if (!overrides_.empty()) {
+      auto it = overrides_.find(Pack(a, b));
+      if (it != overrides_.end()) {
+        return it->second;
+      }
+    }
+    const uint32_t ca = city_index_[a];
+    const uint32_t cb = city_index_[b];
+    return ca == cb ? 1.0 : city_rtt_ms_[ca * city_stride_ + cb];
+  }
+
   uint32_t n_ = 0;
+  // Dense mode (tests, incremental monitors): every ordered pair.
   std::vector<std::vector<double>> recorded_;
+  // City-baseline mode (deployments): replica -> city, u×u RTTs, sparse
+  // post-baseline reports.
+  std::vector<uint32_t> city_index_;
+  std::vector<double> city_rtt_ms_;
+  size_t city_stride_ = 0;
+  std::unordered_map<uint64_t, double> overrides_;
 };
 
 class LatencyMonitor {

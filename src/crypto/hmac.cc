@@ -1,5 +1,7 @@
 #include "src/crypto/hmac.h"
 
+#include <cstring>
+
 namespace optilog {
 
 Digest HmacSha256(const Bytes& key, const uint8_t* message, size_t len) {
@@ -30,6 +32,88 @@ Digest HmacSha256(const Bytes& key, const uint8_t* message, size_t len) {
 
 Digest HmacSha256(const Bytes& key, const Bytes& message) {
   return HmacSha256(key, message.data(), message.size());
+}
+
+HmacKeySchedule HmacPrecompute(const Bytes& key) {
+  constexpr size_t kBlock = 64;
+  Bytes k = key;
+  if (k.size() > kBlock) {
+    const Digest d = Sha256::Hash(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlock, 0);
+
+  uint8_t ipad[kBlock];
+  uint8_t opad[kBlock];
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad, kBlock);
+  Sha256 outer;
+  outer.Update(opad, kBlock);
+  return HmacKeySchedule{inner.Midstate(), outer.Midstate()};
+}
+
+namespace {
+
+// Serializes a compression state as the big-endian digest bytes (what
+// Sha256::Finish emits after its final block).
+inline void StateToDigest(const uint32_t state[8], uint8_t* out) {
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<uint8_t>(state[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(state[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(state[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(state[i]);
+  }
+}
+
+// One compression of `msg` (len <= 55) as the final block of a stream that
+// already absorbed `prefix_bytes`: msg || 0x80 || zeros || bit-length.
+inline void CompressFinal(uint32_t state[8], const uint8_t* msg, size_t len,
+                          uint64_t prefix_bytes) {
+  uint8_t block[64] = {0};
+  std::memcpy(block, msg, len);
+  block[len] = 0x80;
+  const uint64_t bits = (prefix_bytes + len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[56 + i] = static_cast<uint8_t>(bits >> (8 * (7 - i)));
+  }
+  Sha256::CompressBlock(state, block);
+}
+
+}  // namespace
+
+Digest HmacSha256Short(const HmacKeySchedule& ks, const uint8_t* message,
+                       size_t len) {
+  uint32_t st[8];
+  std::memcpy(st, ks.inner.h, sizeof(st));
+  CompressFinal(st, message, len, 64);
+  Digest inner_digest;
+  StateToDigest(st, inner_digest.data());
+
+  std::memcpy(st, ks.outer.h, sizeof(st));
+  CompressFinal(st, inner_digest.data(), inner_digest.size(), 64);
+  Digest out;
+  StateToDigest(st, out.data());
+  return out;
+}
+
+Digest HmacSha256(const HmacKeySchedule& ks, const uint8_t* message,
+                  size_t len) {
+  if (len <= 55) {
+    return HmacSha256Short(ks, message, len);
+  }
+  Sha256 inner;
+  inner.Resume(ks.inner);
+  inner.Update(message, len);
+  const Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Resume(ks.outer);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
 }
 
 }  // namespace optilog

@@ -14,6 +14,17 @@ namespace optilog {
 
 using Digest = std::array<uint8_t, 32>;
 
+// Compression state captured after a whole number of 64-byte blocks.
+// Resuming from it replays the stream without reprocessing the prefix —
+// the basis of the HMAC key-schedule cache (hmac.h): the state after the
+// padded-key block depends only on the key, so per-message work drops to
+// the message blocks alone. Byte-for-byte identical output to a fresh
+// stream over prefix + suffix.
+struct Sha256Midstate {
+  uint32_t h[8];
+  uint64_t processed = 0;  // bytes absorbed; always a multiple of 64
+};
+
 class Sha256 {
  public:
   Sha256() { Reset(); }
@@ -29,11 +40,21 @@ class Sha256 {
   // reuse.
   Digest Finish();
 
+  // Snapshot / restore at a block boundary (no partial buffer pending).
+  Sha256Midstate Midstate() const;
+  void Resume(const Sha256Midstate& m);
+
   static Digest Hash(const Bytes& data);
   static Digest Hash(const std::string& s);
 
+  // One raw FIPS 180-4 compression of `block` applied to `state` — the
+  // transform behind Update/Finish, exposed for the fixed-size HMAC fast
+  // path (hmac.cc), which assembles final padded blocks on the stack and
+  // skips the streaming buffer entirely.
+  static void CompressBlock(uint32_t state[8], const uint8_t block[64]);
+
  private:
-  void Compress(const uint8_t block[64]);
+  void Compress(const uint8_t block[64]) { CompressBlock(h_, block); }
 
   uint32_t h_[8];
   uint64_t total_len_ = 0;

@@ -25,6 +25,7 @@ Signature Signature::Deserialize(ByteReader& r) {
 
 KeyStore::KeyStore(uint32_t num_replicas, uint64_t seed) {
   secrets_.resize(num_replicas);
+  schedules_.reserve(num_replicas);
   uint64_t sm = seed ^ 0x5ec2e75a11ce5eedULL;
   for (uint32_t i = 0; i < num_replicas; ++i) {
     Bytes secret(32);
@@ -33,17 +34,40 @@ KeyStore::KeyStore(uint32_t num_replicas, uint64_t seed) {
       std::memcpy(secret.data() + 8 * word, &v, 8);
     }
     secrets_[i] = std::move(secret);
+    schedules_.push_back(HmacPrecompute(secrets_[i]));
   }
 }
 
 SigBytes KeyStore::ComputeSig(ReplicaId signer, const uint8_t* msg,
                               size_t len) const {
   OL_CHECK(signer < secrets_.size());
-  const Digest first = HmacSha256(secrets_[signer], msg, len);
-  Bytes extended(msg, msg + len);
-  extended.push_back(0x01);
-  const Digest second = HmacSha256(secrets_[signer], extended);
+  const HmacKeySchedule& ks = schedules_[signer];
   SigBytes out;
+  if (len <= 54) {
+    // The dominant case — protocol signatures cover 32-byte digests. Both
+    // halves fit HmacSha256Short's single final block, msg || 0x01 included.
+    uint8_t ext[55];
+    std::memcpy(ext, msg, len);
+    ext[len] = 0x01;
+    const Digest first = HmacSha256Short(ks, msg, len);
+    const Digest second = HmacSha256Short(ks, ext, len + 1);
+    std::memcpy(out.data(), first.data(), 32);
+    std::memcpy(out.data() + 32, second.data(), 32);
+    return out;
+  }
+  const Digest first = HmacSha256(ks, msg, len);
+  // Second half covers msg || 0x01 — streamed through the same schedule
+  // instead of materializing the extended buffer.
+  Sha256 inner;
+  inner.Resume(ks.inner);
+  inner.Update(msg, len);
+  const uint8_t kDomainSep = 0x01;
+  inner.Update(&kDomainSep, 1);
+  const Digest inner_digest = inner.Finish();
+  Sha256 outer;
+  outer.Resume(ks.outer);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  const Digest second = outer.Finish();
   std::memcpy(out.data(), first.data(), 32);
   std::memcpy(out.data() + 32, second.data(), 32);
   return out;

@@ -55,7 +55,7 @@ void TreeReplica::HandlePropose(ReplicaId from, const ProposeMsg& msg, SimTime a
   const std::vector<ReplicaId>& children = tree.ChildrenOf(id_);
   if (children.empty()) {
     // Leaf: vote straight to the parent.
-    auto vote = std::make_shared<VoteMsg>();
+    auto vote = harness_->sim_->pool().Make<VoteMsg>();
     vote->view = msg.view;
     vote->block = msg.block;
     vote->sig = harness_->keys_->Sign(id_, msg.block);
@@ -64,15 +64,22 @@ void TreeReplica::HandlePropose(ReplicaId from, const ProposeMsg& msg, SimTime a
   }
   // Intermediate: forward down, start aggregating with own vote, and arm
   // the aggregation timer (Lagg per Lemma 6, scaled by delta).
-  auto fwd = std::make_shared<ProposeMsg>(msg);
+  // Field-wise init rather than copy-construction: measurements ride only
+  // the first hop, and at scale copying the root's piggybacked vector just
+  // to clear it dominates the forwarding path.
+  auto fwd = harness_->sim_->pool().Make<ProposeMsg>();
+  fwd->view = msg.view;
+  fwd->block = msg.block;
+  fwd->timestamp = msg.timestamp;
+  fwd->batch_size = msg.batch_size;
+  fwd->cmd_bytes = msg.cmd_bytes;
   fwd->forwarded = true;
-  fwd->measurements.clear();  // measurements ride only the first hop
   for (ReplicaId child : children) {
     harness_->net_->Send(id_, child, fwd);
   }
   PendingAggregation& agg = aggregating_[msg.view];
   agg.block = msg.block;
-  agg.votes.insert(id_);
+  agg.votes.Insert(id_);
   // Aggregation latency only waits for children expected to respond.
   double lagg_ms = 0.0;
   for (ReplicaId child : children) {
@@ -102,12 +109,17 @@ void TreeReplica::HandleVote(ReplicaId from, const VoteMsg& msg) {
   if (it == aggregating_.end() || it->second.sent) {
     return;
   }
-  it->second.votes.insert(from);
-  // All responsive children + self accounted for: aggregate early.
-  size_t expected = 1;
-  for (ReplicaId child : tree.ChildrenOf(id_)) {
-    if (harness_->excluded_.count(child) == 0) {
-      ++expected;
+  it->second.votes.Insert(from);
+  // All responsive children + self accounted for: aggregate early. The
+  // no-exclusions case (every fault-free run) must not rescan the child
+  // list on every vote — at scale that is quadratic in fan-out per round.
+  size_t expected = 1 + tree.ChildrenOf(id_).size();
+  if (!harness_->excluded_.empty()) {
+    expected = 1;
+    for (ReplicaId child : tree.ChildrenOf(id_)) {
+      if (harness_->excluded_.count(child) == 0) {
+        ++expected;
+      }
     }
   }
   if (it->second.votes.size() >= expected) {
@@ -125,10 +137,11 @@ void TreeReplica::MaybeSendAggregate(uint64_t view) {
   harness_->sim_->Cancel(agg.timer);
 
   const TreeTopology& tree = harness_->tree_;
-  auto msg = std::make_shared<AggregateMsg>();
+  auto msg = harness_->sim_->pool().Make<AggregateMsg>();
   msg->view = view;
   msg->block = agg.block;
-  msg->voters.assign(agg.votes.begin(), agg.votes.end());
+  msg->voters.reserve(agg.votes.size());
+  agg.votes.AppendTo(msg->voters);
   // §6.3 rule: the aggregate must cover b + 1 votes or suspicions; missing
   // children are suspected explicitly. Already-excluded children are known
   // unresponsive; re-suspecting them every round adds nothing.
@@ -136,7 +149,7 @@ void TreeReplica::MaybeSendAggregate(uint64_t view) {
     if (harness_->excluded_.count(child) > 0) {
       continue;
     }
-    if (agg.votes.count(child) == 0) {
+    if (!agg.votes.Contains(child)) {
       SuspicionRecord rec;
       rec.type = SuspicionType::kSlow;
       rec.suspector = id_;
@@ -333,9 +346,9 @@ void TreeRsm::StartRound() {
   round.proposed_at = sim_->now();
   round.proposer = tree_.root();
   round.batch = std::move(batch);
-  round.votes.insert(tree_.root());  // the root's own vote is free
+  round.votes.Insert(tree_.root());  // the root's own vote is free
 
-  auto propose = std::make_shared<ProposeMsg>();
+  auto propose = sim_->pool().Make<ProposeMsg>();
   propose->view = view;
   propose->block = round.block;
   propose->timestamp = sim_->now();
@@ -361,7 +374,7 @@ void TreeRsm::OnRootVotes(uint64_t view, Digest block,
     return;
   }
   for (ReplicaId v : voters) {
-    round.votes.insert(v);
+    round.votes.Insert(v);
   }
   if (round.votes.size() >= CommitThreshold()) {
     CommitRound(view);
@@ -389,7 +402,7 @@ void TreeRsm::CommitRound(uint64_t view) {
                              static_cast<uint32_t>(round.batch.size()));
     for (size_t i = 0; i < round.batch.size(); ++i) {
       const RequestRef& req = round.batch[i];
-      auto reply = std::make_shared<ClientReplyMsg>();
+      auto reply = sim_->pool().Make<ClientReplyMsg>();
       reply->request_id = req.request_id;
       reply->seq = view;
       if (i < results.size()) {
@@ -424,7 +437,7 @@ void TreeRsm::OnRoundTimeout(uint64_t view) {
   // proposal timestamp within delta * d_rnd).
   if (!net_->faults()->IsCrashedAt(tree_.root(), sim_->now())) {
     for (ReplicaId child : tree_.ChildrenOf(tree_.root())) {
-      if (round.votes.count(child) == 0) {
+      if (!round.votes.Contains(child)) {
         SuspicionRecord rec;
         rec.type = SuspicionType::kSlow;
         rec.suspector = tree_.root();

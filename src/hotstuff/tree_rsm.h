@@ -34,6 +34,7 @@
 #include "src/statemachine/group.h"
 #include "src/tree/topology.h"
 #include "src/tree/tree_score.h"
+#include "src/util/dense_set.h"
 #include "src/workload/workload.h"
 
 namespace optilog {
@@ -91,7 +92,7 @@ class TreeReplica : public Actor {
 
   struct PendingAggregation {
     Digest block{};
-    std::set<ReplicaId> votes;
+    DenseIdSet votes;
     bool sent = false;
     EventId timer = kNoEvent;
   };
@@ -179,7 +180,7 @@ class TreeRsm : public ConsensusEngine, public TimerTarget {
     Digest block{};
     SimTime proposed_at = 0;
     ReplicaId proposer = kNoReplica;  // the root that proposed this view
-    std::set<ReplicaId> votes;
+    DenseIdSet votes;
     std::vector<RequestRef> batch;  // workload mode: the requests on board
     bool committed = false;
     bool failed = false;

@@ -1,6 +1,7 @@
 #include "src/net/geo.h"
 
 #include <cmath>
+#include <unordered_map>
 
 #include "src/util/check.h"
 #include "src/util/rng.h"
@@ -277,6 +278,22 @@ std::vector<City> WithColocatedClients(std::vector<City> replicas,
     replicas.push_back(replicas[i % n]);
   }
   return replicas;
+}
+
+CityIndex DedupeCities(const std::vector<City>& cities) {
+  CityIndex out;
+  out.index_of.reserve(cities.size());
+  std::unordered_map<std::string, uint32_t> by_name;
+  by_name.reserve(cities.size());
+  for (const City& c : cities) {
+    auto [it, inserted] =
+        by_name.emplace(c.name, static_cast<uint32_t>(out.unique.size()));
+    if (inserted) {
+      out.unique.push_back(c);
+    }
+    out.index_of.push_back(it->second);
+  }
+  return out;
 }
 
 std::vector<std::vector<double>> RttMatrixMs(const std::vector<City>& cities) {

@@ -60,6 +60,17 @@ std::vector<City> GlobalN(size_t n, uint64_t seed = 42);
 // Symmetric RTT matrix (ms) for a set of cities.
 std::vector<std::vector<double>> RttMatrixMs(const std::vector<City>& cities);
 
+// Deduplicated view of a city assignment. Replica lists are drawn from the
+// 220-location dataset with wrap-around (and clients colocate with their
+// replica), so an n-actor deployment names at most 220 distinct cities;
+// anything quadratic in actors — latency tables, probe matrices — should be
+// quadratic in *unique* cities instead and expanded through `index_of`.
+struct CityIndex {
+  std::vector<City> unique;        // distinct cities, in first-seen order
+  std::vector<uint32_t> index_of;  // parallel to the input list
+};
+CityIndex DedupeCities(const std::vector<City>& cities);
+
 // Geo placement for a client fleet: appends `clients` client locations to
 // the replica city list, colocating client i with replica (i % replicas).
 // The returned list is what the latency model covers so client <-> replica

@@ -4,22 +4,19 @@ namespace optilog {
 
 GeoLatencyModel::GeoLatencyModel(std::vector<City> cities)
     : cities_(std::move(cities)) {
-  const size_t n = cities_.size();
-  one_way_.assign(n, std::vector<SimTime>(n, 0));
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) {
-      if (i == j) {
-        continue;
-      }
-      // One-way is half the modeled RTT.
-      one_way_[i][j] = FromMs(CityRttMs(cities_[i], cities_[j]) / 2.0);
+  CityIndex ci = DedupeCities(cities_);
+  city_index_ = std::move(ci.index_of);
+  const size_t u = ci.unique.size();
+  stride_ = u;
+  city_one_way_.assign(u * u, 0);
+  for (size_t i = 0; i < u; ++i) {
+    for (size_t j = 0; j < u; ++j) {
+      // One-way is half the modeled RTT. The diagonal is the colocated
+      // (same city, distinct actor) delay; OneWay() special-cases from==to
+      // to 0, so the i==j entry is never read for a self-pair.
+      city_one_way_[i * u + j] = FromMs(CityRttMs(ci.unique[i], ci.unique[j]) / 2.0);
     }
   }
-}
-
-SimTime GeoLatencyModel::OneWay(ReplicaId from, ReplicaId to) const {
-  OL_CHECK(from < one_way_.size() && to < one_way_.size());
-  return one_way_[from][to];
 }
 
 MatrixLatencyModel::MatrixLatencyModel(size_t n, SimTime one_way) {

@@ -30,15 +30,22 @@ class LatencyModel {
 };
 
 // Latencies derived from a city assignment (replica i lives in cities[i]).
+// Internally city-deduplicated: actors far outnumber distinct cities (the
+// dataset has 220 locations), so the delay table is u×u over unique cities
+// — a few hundred KB that stays cache-resident at n = 5000, where a
+// per-actor matrix would be hundreds of MB of redundant trig. No
+// OneWayRow override: the base-class nullptr sends Multicast down its
+// per-destination OneWay path, which is now two indexed loads.
 class GeoLatencyModel : public LatencyModel {
  public:
   explicit GeoLatencyModel(std::vector<City> cities);
 
-  SimTime OneWay(ReplicaId from, ReplicaId to) const override;
-
-  const std::vector<SimTime>* OneWayRow(ReplicaId from) const override {
-    OL_CHECK(from < one_way_.size());
-    return &one_way_[from];
+  SimTime OneWay(ReplicaId from, ReplicaId to) const override {
+    OL_CHECK(from < city_index_.size() && to < city_index_.size());
+    if (from == to) {
+      return 0;
+    }
+    return city_one_way_[city_index_[from] * stride_ + city_index_[to]];
   }
 
   size_t size() const { return cities_.size(); }
@@ -47,7 +54,9 @@ class GeoLatencyModel : public LatencyModel {
 
  private:
   std::vector<City> cities_;
-  std::vector<std::vector<SimTime>> one_way_;
+  std::vector<uint32_t> city_index_;    // actor -> unique city
+  std::vector<SimTime> city_one_way_;   // u×u; diagonal = colocated delay
+  size_t stride_ = 0;
 };
 
 // Explicit one-way latency matrix (microseconds); used by unit tests and by

@@ -33,6 +33,9 @@ SimTime Network::OccupyUplink(ReplicaId from, size_t bytes) {
   }
   const SimTime serialize =
       static_cast<SimTime>(static_cast<double>(bytes) * 8.0 / bandwidth_bps_ * kSec);
+  if (from >= uplink_free_at_.size()) {
+    uplink_free_at_.resize(from + 1, 0);
+  }
   SimTime& free_at = uplink_free_at_[from];
   const SimTime start = std::max(free_at, sim_->now());
   free_at = start + serialize;
@@ -44,12 +47,12 @@ void Network::OnDelivery(ReplicaId from, ReplicaId to, const MessagePtr& msg,
   if (faults_->IsCrashedAt(to, at)) {
     return;
   }
-  auto it = actors_.find(to);
-  if (it == actors_.end()) {
+  Actor* actor = ActorOf(to);
+  if (actor == nullptr) {
     return;
   }
   ++stats_.messages_delivered;
-  it->second->OnMessage(from, msg, at);
+  actor->OnMessage(from, msg, at);
 }
 
 void Network::LoopbackSink::OnDelivery(ReplicaId from, ReplicaId to,
@@ -59,9 +62,9 @@ void Network::LoopbackSink::OnDelivery(ReplicaId from, ReplicaId to,
   if (net->faults_->IsCrashedAt(to, at)) {
     return;
   }
-  auto it = net->actors_.find(to);
-  if (it != net->actors_.end()) {
-    it->second->OnMessage(from, msg, at);
+  Actor* actor = net->ActorOf(to);
+  if (actor != nullptr) {
+    actor->OnMessage(from, msg, at);
   }
 }
 
@@ -84,15 +87,19 @@ void Network::Multicast(ReplicaId from, const std::vector<ReplicaId>& to,
     return;
   }
   // Sender-side fault profile and message classification are per-message
-  // facts: evaluate them once, then walk the latency row per destination.
-  // The one shared immutable message fans out by refcount, and each copy
-  // still occupies the uplink separately (the star-bottleneck effect).
+  // facts: evaluate them once, then walk the latency row per destination
+  // into a scratch batch. The batch preserves recipient order, so the
+  // simulator assigns the same (time, seq) keys an equivalent loop of
+  // ScheduleDelivery calls would — digests are unchanged. The one shared
+  // immutable message fans out by refcount, and each copy still occupies
+  // the uplink separately (the star-bottleneck effect).
   const OutboundProfile profile = ClassifyOutbound(from, *msg);
   const size_t wire = msg->WireSize();
   const std::vector<SimTime>* row = latency_->OneWayRow(from);
+  scratch_.clear();
   for (ReplicaId dest : to) {
     if (dest == from) {
-      sim_->ScheduleDelivery(0, &loopback_, from, from, msg);
+      scratch_.push_back({&loopback_, from, 0});
       continue;
     }
     ++stats_.messages_sent;
@@ -102,8 +109,10 @@ void Network::Multicast(ReplicaId from, const std::vector<ReplicaId>& to,
         row != nullptr ? row->at(dest) : latency_->OneWay(from, dest);
     const SimTime delay =
         (sent_at - sim_->now()) + PerturbPropagation(profile, prop);
-    sim_->ScheduleDelivery(delay, this, from, dest, msg);
+    scratch_.push_back({this, dest, delay});
   }
+  sim_->ScheduleDeliveryBatch(from, scratch_.data(), scratch_.size(),
+                              std::move(msg));
 }
 
 void Network::SendSelf(ReplicaId id, MessagePtr msg) {

@@ -10,12 +10,15 @@
 // Deliveries ride the simulator's typed fast path: the network is the
 // DeliverySink, Send/Multicast schedule {from, to, msg} slab events, and no
 // closure is allocated per message. Multicast shares one immutable message
-// across all recipients and evaluates the sender's fault profile and the
-// message classifiers once, walking the latency row per destination.
+// across all recipients, evaluates the sender's fault profile and the
+// message classifiers once, walks the latency row per destination into a
+// scratch batch, and hands the whole fan-out to the simulator in one
+// ScheduleDeliveryBatch pass (one slab reservation, one refcount bump, no
+// per-recipient heap push). Actor and uplink tables are dense vectors
+// indexed by ReplicaId — ids are assigned contiguously from 0.
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/net/fault_model.h"
@@ -38,7 +41,12 @@ class Network : private DeliverySink {
     loopback_.net = this;
   }
 
-  void Register(ReplicaId id, Actor* actor) { actors_[id] = actor; }
+  void Register(ReplicaId id, Actor* actor) {
+    if (id >= actors_.size()) {
+      actors_.resize(id + 1, nullptr);
+    }
+    actors_[id] = actor;
+  }
 
   // Per-replica outbound bandwidth in bits/s. 0 disables serialization
   // delay. Multicasts serialize one copy per recipient, which is what makes
@@ -102,11 +110,19 @@ class Network : private DeliverySink {
   // per-sender busy horizon.
   SimTime OccupyUplink(ReplicaId from, size_t bytes);
 
+  // Dense actor table; a hole (nullptr) is an unregistered id.
+  Actor* ActorOf(ReplicaId id) const {
+    return id < actors_.size() ? actors_[id] : nullptr;
+  }
+
   Simulator* sim_;
   const LatencyModel* latency_;
   const FaultModel* faults_;
-  std::unordered_map<ReplicaId, Actor*> actors_;
-  std::unordered_map<ReplicaId, SimTime> uplink_free_at_;
+  std::vector<Actor*> actors_;
+  std::vector<SimTime> uplink_free_at_;
+  // Reused per Multicast; building the fan-out here keeps the hot path free
+  // of per-call vector allocations once it reaches steady-state size.
+  std::vector<Simulator::BatchDelivery> scratch_;
   double bandwidth_bps_ = 0.0;
   std::function<bool(const Message&)> is_proposal_;
   std::function<bool(const Message&)> is_probe_;

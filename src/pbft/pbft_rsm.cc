@@ -77,7 +77,7 @@ void PbftReplica::HandlePrePrepare(ReplicaId from, const PrePrepareMsg& msg,
   }
 
   // Send Write (Prepare) to all replicas.
-  auto write = std::make_shared<PhaseMsg>();
+  auto write = harness_->sim_->pool().Make<PhaseMsg>();
   write->accept = false;
   write->seq = msg.seq;
   write->digest = inst.digest;
@@ -96,11 +96,11 @@ void PbftReplica::HandlePhase(ReplicaId from, const PhaseMsg& msg, SimTime at) {
           ? 1.0
           : WeightOf(harness_->config_, harness_->scheme(), from);
   if (!msg.accept) {
-    if (inst.writes.insert(from).second) {
+    if (inst.writes.Insert(from)) {
       inst.write_weight += weight;
     }
   } else {
-    if (inst.accepts.insert(from).second) {
+    if (inst.accepts.Insert(from)) {
       inst.accept_weight += weight;
     }
   }
@@ -149,7 +149,7 @@ void PbftReplica::MaybeAdvance(uint64_t seq) {
   }
   if (!inst.accepted && inst.write_weight >= quorum) {
     inst.accepted = true;
-    auto accept = std::make_shared<PhaseMsg>();
+    auto accept = harness_->sim_->pool().Make<PhaseMsg>();
     accept->accept = true;
     accept->seq = seq;
     accept->digest = inst.digest;
@@ -176,7 +176,7 @@ void PbftReplica::Commit(uint64_t seq) {
     harness_->group_->CommitAt(
         id_, seq, inst.leader, inst.batch, harness_->sim_->now(),
         [this, seq](const RequestRef& req, const Bytes& result) {
-          auto reply = std::make_shared<ClientReplyMsg>();
+          auto reply = harness_->sim_->pool().Make<ClientReplyMsg>();
           reply->request_id = req.request_id;
           reply->seq = seq;
           reply->result = result;
@@ -184,7 +184,7 @@ void PbftReplica::Commit(uint64_t seq) {
         });
   } else {
     for (const RequestRef& req : inst.batch) {
-      auto reply = std::make_shared<ClientReplyMsg>();
+      auto reply = harness_->sim_->pool().Make<ClientReplyMsg>();
       reply->request_id = req.request_id;
       reply->seq = seq;
       harness_->net_->Send(id_, req.client, std::move(reply));
@@ -383,7 +383,7 @@ void PbftHarness::ProposeNext(SimTime now) {
   }
   instance_open_ = true;
   const uint64_t seq = next_seq_++;
-  auto msg = std::make_shared<PrePrepareMsg>();
+  auto msg = sim_->pool().Make<PrePrepareMsg>();
   msg->seq = seq;
   msg->leader = config_.leader;
   msg->timestamp = now;

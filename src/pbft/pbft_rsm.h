@@ -39,6 +39,7 @@
 #include "src/rsm/log.h"
 #include "src/rsm/metrics.h"
 #include "src/statemachine/group.h"
+#include "src/util/dense_set.h"
 #include "src/workload/workload.h"
 
 namespace optilog {
@@ -85,8 +86,8 @@ class PbftReplica : public Actor {
     std::vector<RequestRef> batch;
     double write_weight = 0.0;
     double accept_weight = 0.0;
-    std::set<ReplicaId> writes;
-    std::set<ReplicaId> accepts;
+    DenseIdSet writes;
+    DenseIdSet accepts;
     bool wrote = false;
     bool accepted = false;
     bool committed = false;

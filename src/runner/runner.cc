@@ -58,6 +58,9 @@ void WriteBody(JsonWriter& w, const ScenarioRunResult& r, bool include_wall) {
     w.Key("cancellations").Uint(ec.cancellations);
     w.Key("peak_slab_slots").Uint(ec.peak_slab_slots);
     w.Key("peak_pending").Uint(ec.peak_pending);
+    w.Key("wheel_overflow_events").Uint(ec.wheel_overflow_events);
+    w.Key("message_pool_hits").Uint(ec.message_pool_hits);
+    w.Key("message_pool_misses").Uint(ec.message_pool_misses);
     w.EndObject();
     w.Key("digest").String(p.digest);
     if (include_wall) {

@@ -138,7 +138,7 @@ void TxnCoordinator::SendRecord(uint64_t txn_id, uint32_t shard, Bytes op,
 
 void TxnCoordinator::SendAttempt(uint64_t record_id, SimTime now) {
   Record& rec = records_.at(record_id);
-  auto msg = std::make_shared<ClientRequestMsg>();
+  auto msg = owner_->sim().pool().Make<ClientRequestMsg>();
   msg->client = id_;
   msg->request_id = record_id;
   msg->sent_at = now;
@@ -304,7 +304,7 @@ void TxnCoordinator::ReplyToClient(const Txn& txn, bool committed,
   if (txn.client == kNoReplica) {
     return;
   }
-  auto reply = std::make_shared<TxnReplyMsg>();
+  auto reply = owner_->sim().pool().Make<TxnReplyMsg>();
   reply->request_id = txn.client_req;
   reply->committed = committed;
   if (committed && !txn.recovered) {

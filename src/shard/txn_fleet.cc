@@ -131,7 +131,7 @@ void TxnClient::StartTxn(SimTime now) {
 void TxnClient::SendAttempt(SimTime now) {
   Pending& p = *cur_;
   if (p.cross) {
-    auto msg = std::make_shared<TxnRequestMsg>();
+    auto msg = fleet_->sim().pool().Make<TxnRequestMsg>();
     msg->client = id_;
     msg->request_id = p.request_id;
     msg->sent_at = p.sent_at;
@@ -141,7 +141,7 @@ void TxnClient::SendAttempt(SimTime now) {
     KvTxnOp record;
     record.tag = TxnTag::kMulti;
     record.ops = p.ops;
-    auto msg = std::make_shared<ClientRequestMsg>();
+    auto msg = fleet_->sim().pool().Make<ClientRequestMsg>();
     msg->client = id_;
     msg->request_id = p.request_id;
     msg->sent_at = p.sent_at;

@@ -58,6 +58,16 @@ struct EventCoreStats {
   uint64_t cancellations = 0;     // Cancel() calls that hit a live event
   size_t peak_slab_slots = 0;     // high-water mark of the slab
   size_t peak_pending = 0;        // high-water mark of live events
+  // Time-wheel scheduler: events whose fire time fell beyond the wheel
+  // horizon at schedule time and took the overflow heap instead of a bucket.
+  // Zero under the legacy heap scheduler.
+  uint64_t wheel_overflow_events = 0;
+  // Message pool: Make() calls served from a recycled block vs. fresh
+  // operator new. Deterministic (allocation order is the event order), so
+  // compare_bench gates them exactly like the lane counters. NOT part of
+  // MetricsFingerprint: pre-wheel digests must stay byte-identical.
+  uint64_t message_pool_hits = 0;
+  uint64_t message_pool_misses = 0;
   // Wall-clock seconds spent inside RunUntil/RunAll, for events/sec.
   double wall_seconds = 0.0;
 
@@ -66,6 +76,13 @@ struct EventCoreStats {
   // handler-map insert/erase under the old design.
   uint64_t allocations_avoided() const {
     return typed_deliveries + typed_timers;
+  }
+  // Fraction of message constructions served from the pool's free lists.
+  double message_pool_hit_rate() const {
+    const uint64_t total = message_pool_hits + message_pool_misses;
+    return total > 0 ? static_cast<double>(message_pool_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
   }
   double events_per_sec_wall() const {
     return wall_seconds > 0.0

@@ -117,7 +117,7 @@ void RsmGroup::SendCurrentRequest(ReplicaId id) {
     return;
   }
   if (s.phase == Phase::kSnapshot) {
-    auto req = std::make_shared<StateFetchMsg>();
+    auto req = sim_->pool().Make<StateFetchMsg>();
     req->session = s.session;
     req->chunk = s.next_chunk;
     req->have_partial = s.have_meta;
@@ -125,7 +125,7 @@ void RsmGroup::SendCurrentRequest(ReplicaId id) {
     req->state_digest = s.state_digest;
     net_->Send(id, s.donor, std::move(req));
   } else {
-    auto req = std::make_shared<LogSuffixFetchMsg>();
+    auto req = sim_->pool().Make<LogSuffixFetchMsg>();
     req->session = s.session;
     req->from_index = rsms_[id]->applied();
     net_->Send(id, s.donor, std::move(req));
@@ -198,7 +198,7 @@ void RsmGroup::ServeStateFetch(ReplicaId donor, ReplicaId to,
     return;  // mid-session replicas hold no usable state; requester re-routes
   }
   const ReplicaRsm& rsm = *rsms_[donor];
-  auto reply = std::make_shared<StateChunkMsg>();
+  auto reply = sim_->pool().Make<StateChunkMsg>();
   reply->session = req.session;
   const std::optional<Checkpoint>& cp = rsm.latest_checkpoint();
   if (!cp.has_value()) {
@@ -235,7 +235,7 @@ void RsmGroup::ServeSuffixFetch(ReplicaId donor, ReplicaId to,
     return;
   }
   const Log& log = rsms_[donor]->log();
-  auto reply = std::make_shared<LogSuffixChunkMsg>();
+  auto reply = sim_->pool().Make<LogSuffixChunkMsg>();
   reply->session = req.session;
   reply->from_index = req.from_index;
   reply->donor_frontier = log.next_index();

@@ -1,0 +1,67 @@
+// Bitmap set over dense small-integer ids (replicas are 0..n-1).
+//
+// Vote accounting is the per-message hot loop of every protocol family:
+// at n = 5000 a std::set<ReplicaId> costs a red-black-tree node allocation
+// per voter per round, which profiles as allocator churn right next to the
+// signature math. A bitmap makes insert/contains two indexed word ops and
+// one allocation for the whole round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace optilog {
+
+class DenseIdSet {
+ public:
+  DenseIdSet() = default;
+
+  // Membership test for ids beyond the backing words is simply "absent".
+  bool Contains(uint32_t id) const {
+    const size_t word = id >> 6;
+    return word < words_.size() && (words_[word] >> (id & 63)) & 1;
+  }
+
+  // Returns true when `id` was newly inserted; grows the backing store on
+  // demand so value-initialized members need no universe up front.
+  bool Insert(uint32_t id) {
+    const size_t word = id >> 6;
+    if (word >= words_.size()) {
+      words_.resize(word + 1, 0);
+    }
+    const uint64_t mask = 1ull << (id & 63);
+    if (words_[word] & mask) {
+      return false;
+    }
+    words_[word] |= mask;
+    ++count_;
+    return true;
+  }
+
+  uint32_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Appends members in ascending id order (what std::set iteration gave the
+  // call sites this replaced — aggregate voter lists stay deterministic).
+  void AppendTo(std::vector<uint32_t>& out) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        out.push_back(static_cast<uint32_t>(w * 64 + b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  void clear() {
+    words_.clear();
+    count_ = 0;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint32_t count_ = 0;
+};
+
+}  // namespace optilog

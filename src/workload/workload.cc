@@ -148,7 +148,7 @@ void WorkloadClient::StartNewRequest(SimTime now) {
 
 void WorkloadClient::SendAttempt(uint64_t request_id, SimTime now) {
   Outstanding& o = outstanding_.at(request_id);
-  auto req = std::make_shared<ClientRequestMsg>();
+  auto req = fleet_->sim_->pool().Make<ClientRequestMsg>();
   req->client = id_;
   req->request_id = request_id;
   req->sent_at = o.sent_at;

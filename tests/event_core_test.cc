@@ -5,9 +5,11 @@
 // event kind.
 #include <gtest/gtest.h>
 
+#include "src/api/deployment.h"
 #include "src/net/fault_model.h"
 #include "src/net/latency_model.h"
 #include "src/net/network.h"
+#include "src/runner/scenario.h"
 #include "src/sim/simulator.h"
 
 namespace optilog {
@@ -193,7 +195,7 @@ TEST(EventSlab, MixedKindTiesRunInScheduleOrder) {
   // All three land at t = 50: closure scheduled first, then the delivery,
   // then the timer. Scheduling order must win regardless of kind.
   sim.ScheduleAt(50, [&] { order.push_back(1); });
-  net.Send(0, 1, std::make_shared<NullMsg>());  // one-way = 50
+  net.Send(0, 1, MakeMessage<NullMsg>());  // one-way = 50
   sim.ScheduleTimerAt(50, &timer, 0);
   sim.RunAll();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
@@ -209,7 +211,7 @@ TEST(EventSlab, DeliveryPathSchedulesNoClosures) {
   net.Register(2, &a2);
   net.Register(3, &a3);
 
-  auto msg = std::make_shared<NullMsg>();
+  auto msg = MakeMessage<NullMsg>();
   net.Multicast(0, {1, 2, 3}, msg);
   net.Send(0, 1, msg);
   sim.RunAll();
@@ -242,7 +244,7 @@ TEST(EventSlab, MulticastSharesOneMessageInstance) {
   net.Register(2, &r2);
   net.Register(3, &r3);
 
-  auto msg = std::make_shared<NullMsg>();
+  auto msg = MakeMessage<NullMsg>();
   const Message* raw = msg.get();
   net.Multicast(0, {1, 2, 3}, std::move(msg));
   sim.RunAll();
@@ -250,6 +252,130 @@ TEST(EventSlab, MulticastSharesOneMessageInstance) {
   EXPECT_EQ(r1.seen[0], raw);
   EXPECT_EQ(r2.seen[0], raw);
   EXPECT_EQ(r3.seen[0], raw);
+}
+
+// --- time-wheel scheduler ----------------------------------------------------
+
+// 64 µs buckets, 1 << 14 of them: ticks past ~1.05 s of simulated time from
+// the cursor land in the overflow heap.
+constexpr SimTime kBucketUs = 64;
+constexpr SimTime kWheelHorizon = kBucketUs << 14;
+
+TEST(TimeWheel, SameInstantSeqOrderAcrossBucketBoundaries) {
+  // Same-instant events must run in scheduling order even when neighboring
+  // instants straddle a bucket boundary (63 and 64 hash to different
+  // buckets; two events at 64 share a chain).
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(kBucketUs, [&] { order.push_back(0); });
+  sim.ScheduleAt(kBucketUs - 1, [&] { order.push_back(1); });
+  sim.ScheduleAt(kBucketUs, [&] { order.push_back(2); });
+  sim.ScheduleAt(kBucketUs + 1, [&] { order.push_back(3); });
+  sim.ScheduleAt(kBucketUs - 1, [&] { order.push_back(4); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 0, 2, 3}));
+}
+
+TEST(TimeWheel, CancelThenReuseSlotInsideBucketChain) {
+  // Cancelling a wheel-resident event unlinks it from the middle of its
+  // bucket chain and recycles the slot immediately; a later schedule that
+  // reuses the slot must not corrupt the chain or fire twice.
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(100, [&] { order.push_back(0); });
+  const EventId victim = sim.ScheduleAt(100, [&] { order.push_back(99); });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.Cancel(victim);
+  EXPECT_EQ(sim.pending(), 2u);
+  // Same instant, same bucket: lands in the slot the cancel freed.
+  sim.ScheduleAt(100, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(TimeWheel, OverflowHeapMigratesIntoWheel) {
+  Simulator sim;
+  std::vector<int> order;
+  // Beyond the horizon from tick 0: parked in the overflow heap.
+  sim.ScheduleAt(kWheelHorizon + 5 * kBucketUs, [&] { order.push_back(1); });
+  sim.ScheduleAt(2 * kWheelHorizon, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.event_core_stats().wheel_overflow_events, 2u);
+  // Near event: straight into the wheel.
+  sim.ScheduleAt(10, [&] { order.push_back(0); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sim.now(), 2 * kWheelHorizon);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(TimeWheel, CancelledOverflowEventNotCountedAsExecuted) {
+  // Overflow (and legacy-heap) cancels leave a stale generation-mismatched
+  // key behind; skipping it at pop time must not increment
+  // events_executed. Regression: the skip used to count as a run.
+  Simulator sim;
+  const EventId far = sim.ScheduleAt(kWheelHorizon + kBucketUs, [] {});
+  sim.ScheduleAt(5, [] {});
+  sim.Cancel(far);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunAll();
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(TimeWheel, HeapSchedulerCancelNotCountedAsExecuted) {
+  Simulator sim;
+  sim.UseHeapScheduler();
+  const EventId victim = sim.ScheduleAt(50, [] {});
+  sim.ScheduleAt(60, [] {});
+  sim.Cancel(victim);
+  sim.RunAll();
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(TimeWheel, ReserveHintPreallocatesSlab) {
+  Simulator sim;
+  sim.ReserveHint(256);
+  const size_t cap = sim.slab_capacity();
+  EXPECT_GE(cap, 256u);
+  for (int i = 0; i < 200; ++i) {
+    sim.ScheduleAt(i, [] {});
+  }
+  EXPECT_EQ(sim.slab_capacity(), cap);  // no growth under the hint
+}
+
+// --- cross-scheduler determinism ---------------------------------------------
+
+// The wheel and the legacy binary heap must produce identical executions:
+// same (time, seq) order, same slot recycling, same metrics fingerprint.
+// Exercised over both protocol families so delivery, timer, cancel, and
+// multicast paths all participate.
+
+std::string FingerprintFor(Protocol proto, bool heap) {
+  auto b = Deployment::Builder()
+               .WithReplicas(7, 2)
+               .WithProtocol(proto)
+               .WithSeed(11);
+  if (heap) {
+    b.WithHeapScheduler();
+  }
+  auto d = b.Build();
+  d->Start();
+  d->RunUntil(3 * kSec);
+  return MetricsFingerprint(d->Metrics());
+}
+
+TEST(TimeWheel, SchedulerParityKauri) {
+  const std::string wheel = FingerprintFor(Protocol::kKauri, false);
+  const std::string heap = FingerprintFor(Protocol::kKauri, true);
+  EXPECT_FALSE(wheel.empty());
+  EXPECT_EQ(wheel, heap);
+}
+
+TEST(TimeWheel, SchedulerParityPbft) {
+  const std::string wheel = FingerprintFor(Protocol::kPbft, false);
+  const std::string heap = FingerprintFor(Protocol::kPbft, true);
+  EXPECT_FALSE(wheel.empty());
+  EXPECT_EQ(wheel, heap);
 }
 
 }  // namespace

@@ -202,7 +202,7 @@ TEST(Network, DeliversWithPropagationDelay) {
   Network net(&sim, &latency, &faults);
   Recorder r;
   net.Register(1, &r);
-  net.Send(0, 1, std::make_shared<TestMsg>());
+  net.Send(0, 1, MakeMessage<TestMsg>());
   sim.RunAll();
   ASSERT_EQ(r.deliveries.size(), 1u);
   EXPECT_EQ(r.deliveries[0].second, 7 * kMsec);
@@ -216,7 +216,7 @@ TEST(Network, CrashedSenderSendsNothing) {
   Network net(&sim, &latency, &faults);
   Recorder r;
   net.Register(1, &r);
-  net.Send(0, 1, std::make_shared<TestMsg>());
+  net.Send(0, 1, MakeMessage<TestMsg>());
   sim.RunAll();
   EXPECT_TRUE(r.deliveries.empty());
 }
@@ -229,7 +229,7 @@ TEST(Network, CrashedReceiverDropsDelivery) {
   Network net(&sim, &latency, &faults);
   Recorder r;
   net.Register(1, &r);
-  net.Send(0, 1, std::make_shared<TestMsg>());
+  net.Send(0, 1, MakeMessage<TestMsg>());
   sim.RunAll();
   EXPECT_TRUE(r.deliveries.empty());
 }
@@ -242,7 +242,7 @@ TEST(Network, DelayFactorSlowsSender) {
   Network net(&sim, &latency, &faults);
   Recorder r;
   net.Register(1, &r);
-  net.Send(0, 1, std::make_shared<TestMsg>());
+  net.Send(0, 1, MakeMessage<TestMsg>());
   sim.RunAll();
   ASSERT_EQ(r.deliveries.size(), 1u);
   EXPECT_EQ(r.deliveries[0].second, 14 * kMsec);
@@ -259,10 +259,10 @@ TEST(Network, FastProbesExemptProbeMessages) {
   net.SetProbeClassifier([](const Message& m) { return m.type() == 99; });
   Recorder r;
   net.Register(1, &r);
-  auto probe = std::make_shared<TestMsg>();
+  auto probe = MakeMessage<TestMsg>();
   probe->kind = 99;
   net.Send(0, 1, probe);
-  net.Send(0, 1, std::make_shared<TestMsg>());  // protocol message
+  net.Send(0, 1, MakeMessage<TestMsg>());  // protocol message
   sim.RunAll();
   ASSERT_EQ(r.deliveries.size(), 2u);
   EXPECT_EQ(r.deliveries[0].second, 10 * kMsec);  // probe: honest
@@ -278,10 +278,10 @@ TEST(Network, ProposalDelayAttack) {
   net.SetProposalClassifier([](const Message& m) { return m.type() == 42; });
   Recorder r;
   net.Register(1, &r);
-  auto proposal = std::make_shared<TestMsg>();
+  auto proposal = MakeMessage<TestMsg>();
   proposal->kind = 42;
   net.Send(0, 1, proposal);
-  net.Send(0, 1, std::make_shared<TestMsg>());
+  net.Send(0, 1, MakeMessage<TestMsg>());
   sim.RunAll();
   ASSERT_EQ(r.deliveries.size(), 2u);
   // Non-proposal is on time; proposal is delayed by 500 ms.
@@ -299,7 +299,7 @@ TEST(Network, SendSelfHonorsCrashBetweenScheduleAndDelivery) {
   // At t = 10: the loopback is scheduled first, then a same-instant event
   // crashes the replica before the zero-delay delivery runs. Loopback must
   // drop the message exactly like Send's receiver-side check.
-  sim.ScheduleAt(10, [&] { net.SendSelf(1, std::make_shared<TestMsg>()); });
+  sim.ScheduleAt(10, [&] { net.SendSelf(1, MakeMessage<TestMsg>()); });
   sim.ScheduleAt(10, [&] { faults.Mutable(1).crash_at = 10; });
   sim.RunAll();
   EXPECT_TRUE(r.deliveries.empty());
@@ -313,7 +313,7 @@ TEST(Network, SendSelfDeliversAtSameInstant) {
   Recorder r;
   net.Register(1, &r);
   sim.RunUntil(25);
-  net.SendSelf(1, std::make_shared<TestMsg>());
+  net.SendSelf(1, MakeMessage<TestMsg>());
   sim.RunAll();
   ASSERT_EQ(r.deliveries.size(), 1u);
   EXPECT_EQ(r.deliveries[0].first, 1u);
@@ -330,7 +330,7 @@ TEST(Network, BandwidthSerializesMulticast) {
   net.Register(1, &r1);
   net.Register(2, &r2);
   net.Register(3, &r3);
-  auto msg = std::make_shared<TestMsg>();
+  auto msg = MakeMessage<TestMsg>();
   msg->bytes = 10'000;  // 10 ms serialization each
   net.Multicast(0, {1, 2, 3}, msg);
   sim.RunAll();
@@ -375,7 +375,7 @@ TEST(Network, BandwidthStarLeaderSerializesKCopiesTreeOnlyFanout) {
   constexpr SimTime kSerialize = 10 * kMsec;  // per-copy serialization
   // 8 Mbit/s uplinks and 10'000-byte messages give 10 ms per copy.
   auto msg = [] {
-    auto m = std::make_shared<TestMsg>();
+    auto m = MakeMessage<TestMsg>();
     m->bytes = 10'000;
     return m;
   };
@@ -445,8 +445,8 @@ TEST(Network, StatsCountMessagesAndBytes) {
   Network net(&sim, &latency, &faults);
   Recorder r;
   net.Register(1, &r);
-  net.Send(0, 1, std::make_shared<TestMsg>());
-  net.Send(0, 1, std::make_shared<TestMsg>());
+  net.Send(0, 1, MakeMessage<TestMsg>());
+  net.Send(0, 1, MakeMessage<TestMsg>());
   sim.RunAll();
   EXPECT_EQ(net.stats().messages_sent, 2u);
   EXPECT_EQ(net.stats().messages_delivered, 2u);

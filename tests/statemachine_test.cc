@@ -193,18 +193,18 @@ TEST(FaultWindow, DeliveriesResumeAfterRecovery) {
   faults.Mutable(1).recover_at = 1500;
 
   // Lands at 100: before the window — delivered.
-  net.Send(0, 1, std::make_shared<PingMsg>());
+  net.Send(0, 1, MakeMessage<PingMsg>());
   sim.RunUntil(900);
   // Sent at 900, lands at 1000: inside the window — dropped.
-  net.Send(0, 1, std::make_shared<PingMsg>());
+  net.Send(0, 1, MakeMessage<PingMsg>());
   sim.RunUntil(1600);
   // Sent at 1600 (after recovery), lands at 1700 — delivered.
-  net.Send(0, 1, std::make_shared<PingMsg>());
+  net.Send(0, 1, MakeMessage<PingMsg>());
   // Loopback honors the same window: self-send at 1700 delivered, and the
   // crashed replica's own loopback inside the window would have been
   // dropped at source.
   sim.RunUntil(1700);
-  net.SendSelf(1, std::make_shared<PingMsg>());
+  net.SendSelf(1, MakeMessage<PingMsg>());
   sim.RunUntil(2000);
 
   ASSERT_EQ(a1.deliveries.size(), 3u);

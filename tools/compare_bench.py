@@ -97,6 +97,8 @@ class Comparator:
         self.default_float_tol = default_float_tol
         self.failures = []
         self.notes = []
+        # (scenario, params, base ev/s, cand ev/s) — advisory throughput rows.
+        self.throughput = []
 
     def fail(self, where, msg):
         self.failures.append(f"{where}: {msg}")
@@ -174,6 +176,7 @@ class Comparator:
                 for key in bm:
                     self.check_value(where, key, bm[key], cm[key])
             bec, cec = bp.get("event_core", {}), cp.get("event_core", {})
+            self.record_throughput(name, bp, cp, bec, cec)
             if bec != cec:
                 for key in sorted(set(bec) | set(cec)):
                     if bec.get(key) != cec.get(key):
@@ -195,6 +198,31 @@ class Comparator:
         if bw and cw:
             self.note(f"{name}: wall {bw:.0f} ms -> {cw:.0f} ms "
                       f"({(cw - bw) / bw:+.1%}, advisory)")
+
+    def record_throughput(self, name, bp, cp, bec, cec):
+        """Collect wall_ms-derived events/sec for the advisory delta table."""
+        bw, cw = bp.get("wall_ms"), cp.get("wall_ms")
+        bev, cev = bec.get("events_executed", 0), cec.get("events_executed", 0)
+        if not (bw and cw and bev and cev):
+            return
+        params = " ".join(f"{k}={v}" for k, v in sorted(bp["params"].items()))
+        self.throughput.append(
+            (name, params, bev / bw * 1000.0, cev / cw * 1000.0)
+        )
+
+    def print_throughput(self):
+        """Advisory events/sec table (baseline vs candidate). Wall-clock
+        derived, so machine- and load-dependent: never gated, just printed so
+        hot-path regressions are visible in the same diff that gates shape."""
+        if not self.throughput:
+            return
+        wide = max(len(f"{n}[{p}]") for n, p, _, _ in self.throughput)
+        print("advisory events/sec (events_executed / wall_ms):")
+        print(f"  {'point':<{wide}} {'baseline':>12} {'candidate':>12} {'delta':>8}")
+        for name, params, bevs, cevs in self.throughput:
+            delta = (cevs - bevs) / bevs
+            print(f"  {f'{name}[{params}]':<{wide}} {bevs:>12,.0f} "
+                  f"{cevs:>12,.0f} {delta:>+8.1%}")
 
 
 def main(argv):
@@ -221,6 +249,7 @@ def main(argv):
     for name in sorted(extra):
         cmp.note(f"{name}: no baseline committed (bench/baselines/), skipped")
 
+    cmp.print_throughput()
     for note in cmp.notes:
         print(f"note: {note}")
     if cmp.failures:
