@@ -1,0 +1,115 @@
+// Crypto cost-model calibration gate. Three jobs in one scenario:
+//
+//   1. Pin the model constants. Both presets' per-op costs land in
+//      crypto_ns_* metrics (10% builtin tolerance in compare_bench.py), so
+//      an accidental constant edit — or a deliberate recalibration that
+//      forgot to regenerate baselines — fails the perf gate.
+//   2. Report the current host's real primitive timings from
+//      CryptoCostModel::Measure() as crypto_ns_meas_* metrics. These are
+//      machine-dependent by construction and carry a wide advisory band
+//      (5.0 relative); they exist so a baseline diff shows how far the
+//      pinned Calibrated() constants have drifted from the hardware the
+//      gate currently runs on.
+//   3. Fingerprint one small deployment under Calibrated(): the full
+//      charge-site integration (sign/verify/hash/QC at every protocol
+//      step, horizons folded into departures) pinned end to end, not just
+//      the constants.
+#include "bench/scenarios/common.h"
+#include "src/api/deployment.h"
+
+namespace optilog {
+namespace {
+
+constexpr SimTime kRunTime = 10 * kSec;
+
+void AppendModelRow(PointResult& pr, const std::string& name,
+                    const CryptoCostModel& m) {
+  pr.rows.push_back({name, Fixed(m.sign_ns, 0), Fixed(m.verify_ns, 0),
+                     Fixed(m.hash_base_ns, 0), Fixed(m.hash_byte_ns, 2),
+                     Fixed(m.qc_aggregate_share_ns, 0),
+                     Fixed(m.qc_verify_base_ns, 0),
+                     Fixed(m.qc_verify_signer_ns, 0)});
+}
+
+void AppendModelMetrics(PointResult& pr, const std::string& prefix,
+                        const CryptoCostModel& m) {
+  pr.metrics.emplace_back(prefix + "_sign", m.sign_ns);
+  pr.metrics.emplace_back(prefix + "_verify", m.verify_ns);
+  pr.metrics.emplace_back(prefix + "_hash_base", m.hash_base_ns);
+  pr.metrics.emplace_back(prefix + "_hash_byte", m.hash_byte_ns);
+  pr.metrics.emplace_back(prefix + "_qc_share", m.qc_aggregate_share_ns);
+  pr.metrics.emplace_back(prefix + "_qc_base", m.qc_verify_base_ns);
+  pr.metrics.emplace_back(prefix + "_qc_signer", m.qc_verify_signer_ns);
+}
+
+PointResult RunPoint(const Params&) {
+  const CryptoCostModel ed = CryptoCostModel::Ed25519Bls();
+  const CryptoCostModel cal = CryptoCostModel::Calibrated();
+  const CryptoCostModel meas = CryptoCostModel::Measure();
+
+  PointResult pr;
+  // Rows carry only the pinned presets: row cells are gated exactly by
+  // column name, so the host-dependent measured numbers stay out of the
+  // table and live solely in the crypto_ns_meas_* advisory metrics.
+  AppendModelRow(pr, "ed25519_bls", ed);
+  AppendModelRow(pr, "calibrated", cal);
+  AppendModelMetrics(pr, "crypto_ns_model_ed", ed);
+  AppendModelMetrics(pr, "crypto_ns_model_cal", cal);
+  AppendModelMetrics(pr, "crypto_ns_meas", meas);
+
+  // The integration pin: Kauri n=13 self-driven under the pinned
+  // Calibrated() constants. Every counter below is exact-gated (integers),
+  // so a charge site appearing, disappearing, or double-charging fails
+  // even if the latency drift stays inside a tolerance band.
+  auto deployment = Deployment::Builder()
+                        .WithGeo(Europe21())
+                        .WithReplicas(13, 4)
+                        .WithProtocol(Protocol::kKauri)
+                        .WithSeed(7)
+                        .WithCryptoCostModel(cal)
+                        .Build();
+  deployment->Start();
+  deployment->RunUntil(kRunTime);
+  const MetricsReport m = deployment->Metrics();
+
+  pr.metrics.emplace_back("committed", static_cast<double>(m.committed));
+  pr.metrics.emplace_back("wire_messages",
+                          static_cast<double>(m.wire_messages));
+  pr.metrics.emplace_back("wire_bytes", static_cast<double>(m.wire_bytes));
+  pr.metrics.emplace_back("op_signs", static_cast<double>(m.crypto.signs));
+  pr.metrics.emplace_back("op_verifies",
+                          static_cast<double>(m.crypto.verifies));
+  pr.metrics.emplace_back("op_hashes", static_cast<double>(m.crypto.hashes));
+  pr.metrics.emplace_back("op_hashed_bytes",
+                          static_cast<double>(m.crypto.hashed_bytes));
+  pr.metrics.emplace_back("op_qc_shares",
+                          static_cast<double>(m.crypto.qc_aggregated_shares));
+  pr.metrics.emplace_back("op_qc_verifies",
+                          static_cast<double>(m.crypto.qc_verifies));
+  pr.metrics.emplace_back("crypto_ns_busy_total",
+                          static_cast<double>(m.crypto.busy_ns_total));
+  pr.metrics.emplace_back("crypto_ns_busy_max",
+                          static_cast<double>(m.crypto.busy_ns_max_replica));
+  FillOutcome(pr, m);
+  return pr;
+}
+
+Scenario Make() {
+  Scenario s;
+  s.name = "crypto_bench";
+  s.description =
+      "cost-model calibration gate: pinned Ed25519/BLS and Calibrated() "
+      "constants, this host's measured primitive timings (advisory), and "
+      "one fingerprinted Kauri run under Calibrated()";
+  s.tags = {"crypto", "tier1"};
+  s.columns = {"model",    "sign_ns",  "verify_ns", "hash_base",
+               "hash_byte", "qc_share", "qc_base",   "qc_signer"};
+  s.grid = {};
+  s.run = RunPoint;
+  return s;
+}
+
+const ScenarioRegistrar reg(Make());
+
+}  // namespace
+}  // namespace optilog

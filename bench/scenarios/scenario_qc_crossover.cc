@@ -1,0 +1,132 @@
+// Per-vote vs aggregate-QC verification crossover under the Ed25519/BLS
+// cost model: a depth-2 chain (root -> one intermediate -> k leaves) puts
+// one aggregate covering k + 1 voters in front of the root every round.
+// Per-vote pricing charges the root (k + 1) * verify_ns; aggregate-QC
+// pricing charges qc_verify_base_ns + (k + 1) * qc_verify_signer_ns. With
+// the Ed25519Bls constants (verify 65 us, base 1.2 ms, signer 1 us) the
+// two curves cross at 1200 / 64 = 18.75 voters — below that individual
+// verification wins, above it the pairing cost amortizes. Both modes run
+// the identical message flow (same commits, same wire bytes); only the
+// modeled CPU and therefore the round latency move, which is exactly what
+// the busy-time metrics and the crossover summary pin.
+#include <algorithm>
+
+#include "bench/scenarios/common.h"
+#include "src/api/deployment.h"
+
+namespace optilog {
+namespace {
+
+constexpr SimTime kRunTime = 10 * kSec;
+
+MetricsReport RunMode(uint32_t leaves, VoteVerification mode) {
+  const uint32_t n = leaves + 2;
+  TreeRsmOptions topts;
+  topts.batch_size = 100;
+  topts.cmd_bytes = 0;  // isolate crypto cost from serialization payload
+  topts.pipeline_depth = 1;
+  topts.vote_verification = mode;
+
+  std::vector<ReplicaId> internals = {0, 1};
+  std::vector<ReplicaId> leaf_ids;
+  for (ReplicaId id = 2; id < n; ++id) {
+    leaf_ids.push_back(id);
+  }
+  auto deployment = Deployment::Builder()
+                        .WithGeo(GlobalN(n))
+                        .WithReplicas(n, (n - 1) / 3)
+                        .WithProtocol(Protocol::kKauri)
+                        .WithSeed(11)
+                        .WithTreeOptions(topts)
+                        .WithTopology(TreeTopology::Build(internals, leaf_ids))
+                        .WithCryptoCostModel(CryptoCostModel::Ed25519Bls())
+                        .Build();
+  deployment->Start();
+  deployment->RunUntil(kRunTime);
+  return deployment->Metrics();
+}
+
+PointResult RunPoint(const Params& p) {
+  const uint32_t leaves = static_cast<uint32_t>(p.GetInt("leaves"));
+  const MetricsReport per_vote = RunMode(leaves, VoteVerification::kPerVote);
+  const MetricsReport agg_qc = RunMode(leaves, VoteVerification::kAggregateQc);
+
+  // Root-per-round cost in us: the most loaded replica's modeled busy time
+  // over the committed rounds. The message flow is identical in both modes,
+  // so committed (and wire bytes) must match exactly between them.
+  const double pv_us_per_round =
+      static_cast<double>(per_vote.crypto.busy_ns_max_replica) / 1000.0 /
+      static_cast<double>(per_vote.committed);
+  const double qc_us_per_round =
+      static_cast<double>(agg_qc.crypto.busy_ns_max_replica) / 1000.0 /
+      static_cast<double>(agg_qc.committed);
+
+  PointResult pr;
+  pr.rows.push_back({std::to_string(leaves),
+                     std::to_string(per_vote.committed),
+                     Fixed(pv_us_per_round, 1), Fixed(qc_us_per_round, 1),
+                     Fixed(per_vote.mean_latency_ms, 3),
+                     Fixed(agg_qc.mean_latency_ms, 3),
+                     qc_us_per_round < pv_us_per_round ? "agg" : "per-vote"});
+  pr.metrics = {
+      {"committed", static_cast<double>(per_vote.committed)},
+      {"committed_agg", static_cast<double>(agg_qc.committed)},
+      {"wire_bytes_per_vote", static_cast<double>(per_vote.wire_bytes)},
+      {"wire_bytes_agg_qc", static_cast<double>(agg_qc.wire_bytes)},
+      {"crypto_ns_root_per_vote",
+       static_cast<double>(per_vote.crypto.busy_ns_max_replica)},
+      {"crypto_ns_root_agg_qc",
+       static_cast<double>(agg_qc.crypto.busy_ns_max_replica)},
+      {"agg_wins", qc_us_per_round < pv_us_per_round ? 1.0 : 0.0},
+  };
+  // Pin both runs: two fingerprints folded into one digest keeps either
+  // mode's drift visible.
+  pr.digest = MetricsFingerprint(per_vote) + ":" + MetricsFingerprint(agg_qc);
+  pr.event_core = per_vote.event_core;
+  pr.event_core.wall_seconds = 0.0;
+  return pr;
+}
+
+SummaryTable Finalize(const std::vector<PointResult>& points) {
+  // The smallest swept leaf count where the aggregate path is cheaper. The
+  // Ed25519Bls constants put the analytic crossover at 18.75 voters
+  // (= 17.75 leaves), so the sweep must flip between leaves=16 and
+  // leaves=20 — crossover_leaves pins at 20.
+  std::string crossover = "none";
+  for (const PointResult& pr : points) {
+    for (const auto& [name, value] : pr.metrics) {
+      if (name == "agg_wins" && value > 0.5) {
+        crossover = pr.rows[0][0];
+        break;
+      }
+    }
+    if (crossover != "none") {
+      break;
+    }
+  }
+  SummaryTable t;
+  t.columns = {"crossover_leaves", "analytic_voters"};
+  t.rows.push_back({crossover, "18.75"});
+  return t;
+}
+
+Scenario Make() {
+  Scenario s;
+  s.name = "qc_crossover";
+  s.description =
+      "per-vote vs aggregate-QC verification cost under the Ed25519/BLS "
+      "model (depth-2 chain, k leaves behind one intermediate): root busy "
+      "time per round crosses over at ~19 voters";
+  s.tags = {"crypto", "sweep", "tier1"};
+  s.columns = {"leaves",     "committed",  "pv_us_round", "qc_us_round",
+               "pv_lat_ms",  "qc_lat_ms",  "winner"};
+  s.grid = {{"leaves", {"8", "12", "16", "20", "24", "32"}}};
+  s.run = RunPoint;
+  s.finalize = Finalize;
+  return s;
+}
+
+const ScenarioRegistrar reg(Make());
+
+}  // namespace
+}  // namespace optilog

@@ -128,6 +128,12 @@ Deployment::Builder& Deployment::Builder::WithBandwidth(double bps) {
   return *this;
 }
 
+Deployment::Builder& Deployment::Builder::WithCryptoCostModel(
+    const CryptoCostModel& model) {
+  crypto_model_ = model;
+  return *this;
+}
+
 Deployment::Builder& Deployment::Builder::WithSeed(uint64_t seed) {
   seed_ = seed;
   return *this;
@@ -252,6 +258,9 @@ std::unique_ptr<Deployment> Deployment::Builder::BuildInternal(
                                       &d->faults_);
   if (bandwidth_bps_ > 0) {
     d->net_->SetBandwidthBps(bandwidth_bps_);
+  }
+  if (crypto_model_.has_value()) {
+    d->net_->EnableCpuCost(*crypto_model_);
   }
   d->keys_ = std::make_unique<KeyStore>(d->n_, seed);
 

@@ -186,6 +186,12 @@ class Deployment::Builder {
   // Per-replica uplink bandwidth in bits/s (0 = unlimited).
   Builder& WithBandwidth(double bps);
 
+  // Attaches a modeled crypto/CPU cost (src/crypto/cost_model.h): protocol
+  // sign/verify/hash work charges replica busy time that delays sends, and
+  // Metrics() gains a CryptoReport. Off by default; without it runs are
+  // byte-identical to pre-cost-model behavior (fingerprints included).
+  Builder& WithCryptoCostModel(const CryptoCostModel& model);
+
   // Seeds everything the builder derives randomness from: the key store,
   // topology searches, the pipeline RNG, and the PBFT harness seed.
   Builder& WithSeed(uint64_t seed);
@@ -285,6 +291,7 @@ class Deployment::Builder {
   std::function<void(Deployment&)> faults_;
   std::optional<Pipeline::Options> pipeline_opts_;
   double bandwidth_bps_ = 0.0;
+  std::optional<CryptoCostModel> crypto_model_;
   std::optional<uint64_t> seed_;  // unset: each component keeps its default
   TreeRsmOptions tree_opts_;
   PbftOptions pbft_opts_;

@@ -1,5 +1,14 @@
 // Wire messages for the chained HotStuff / Kauri / OptiTree family.
 //
+// Every message carries its canonical binary encoding (EncodeTo) and
+// WireSize() derives from it — see src/wire/codec.h for the decode registry
+// and DESIGN.md "Wire format and cost model" for the layout conventions:
+// little-endian fixed-width header fields, raw 32-byte digests and 64-byte
+// signature fields, length-prefixed variable blobs, and zero-filled
+// placeholders for modeled payloads (batch commands) and modeled aggregate
+// signatures. Flags folded into the type tag (forwarded, probe-reply) ride
+// the out-of-band (family, type) frame header, never the body.
+//
 // Sizes model the real protocols: a proposal carries the batch (batch_size
 // commands of cmd_bytes each), the parent QC, and any piggybacked OptiLog
 // measurements; votes are a digest plus one signature; aggregates carry a
@@ -25,6 +34,13 @@ enum HotStuffMsgType {
   kMsgProbeReply = 6,
 };
 
+// Body: view u64 | block 32 | timestamp i64 | batch_size u32 | cmd_bytes u32
+//       | parent-QC placeholder (digest 32, signer count u32 = 0, aggregate
+//       64; an empty QuorumCert serialization) | batch_size * cmd_bytes zero
+//       payload | measurements as length-prefixed blobs to end of body.
+// Byte-compatible with the pre-encoding declared size (156 + payload +
+// per-measurement 4 + len): the old "104-byte parent QC" constant was
+// exactly an empty QC plus the cmd_bytes field now on the wire.
 struct ProposeMsg : Message {
   uint64_t view = 0;
   Digest block{};
@@ -32,51 +48,167 @@ struct ProposeMsg : Message {
   uint32_t batch_size = 0;
   size_t cmd_bytes = 0;
   std::vector<Bytes> measurements;  // piggybacked OptiLog records
-  bool forwarded = false;           // true on the intermediate -> leaf hop
+
+  bool forwarded = false;  // true on the intermediate -> leaf hop
 
   int type() const override { return forwarded ? kMsgForward : kMsgPropose; }
-  size_t WireSize() const override {
-    size_t measurement_bytes = 0;
+  MsgFamily family() const override { return MsgFamily::kHotStuff; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U64(view);
+    w.Raw(block.data(), block.size());
+    w.I64(timestamp);
+    w.U32(batch_size);
+    w.U32(static_cast<uint32_t>(cmd_bytes));
+    // Parent-QC slot: the dissemination tree aggregates votes out-of-band
+    // (AggregateMsg), so proposals carry the size of an empty certificate.
+    w.ZeroPad(32);  // parent digest
+    w.U32(0);       // signer count
+    w.ZeroPad(kSignatureSize);
+    w.ZeroPad(static_cast<size_t>(batch_size) * cmd_bytes);
     for (const Bytes& m : measurements) {
-      measurement_bytes += m.size() + 4;
+      w.Blob(m);
     }
-    // header: view + digest + timestamp + batch count + QC of parent.
-    return 8 + 32 + 8 + 4 + 104 + static_cast<size_t>(batch_size) * cmd_bytes +
-           measurement_bytes;
+  }
+  static IntrusivePtr<ProposeMsg> Decode(int type, ByteReader& r) {
+    auto m = MakeMessage<ProposeMsg>();
+    m->forwarded = type == kMsgForward;
+    m->view = r.U64();
+    r.Raw(m->block.data(), m->block.size());
+    m->timestamp = r.I64();
+    m->batch_size = r.U32();
+    m->cmd_bytes = r.U32();
+    r.Skip(32);
+    const uint32_t qc_signers = r.U32();
+    r.Skip(4ull * qc_signers + kSignatureSize);
+    r.Skip(static_cast<uint64_t>(m->batch_size) * m->cmd_bytes);
+    while (r.ok() && !r.Done()) {
+      m->measurements.push_back(r.Blob());
+    }
+    return m;
   }
   std::string Name() const override { return forwarded ? "Forward" : "Propose"; }
 };
 
+// Body: view u64 | block 32 | signer u32 | signature 64. The signature is
+// real (KeyStore HMAC scheme) over SigningBytes() — the body prefix — so
+// signed bytes == wire bytes.
 struct VoteMsg : Message {
   uint64_t view = 0;
   Digest block{};
   Signature sig;
 
   int type() const override { return kMsgVote; }
-  size_t WireSize() const override { return 8 + 32 + Signature::kWireSize; }
+  MsgFamily family() const override { return MsgFamily::kHotStuff; }
+  void EncodeTo(ByteWriter& w) const override {
+    EncodeSignedPrefix(w);
+    sig.Serialize(w);
+  }
+  // The canonical bytes the vote signature covers: everything before the
+  // signature field.
+  Bytes SigningBytes() const {
+    Bytes out;
+    ByteWriter w(&out);
+    EncodeSignedPrefix(w);
+    return out;
+  }
+  static IntrusivePtr<VoteMsg> Decode(int /*type*/, ByteReader& r) {
+    auto m = MakeMessage<VoteMsg>();
+    m->view = r.U64();
+    r.Raw(m->block.data(), m->block.size());
+    m->sig = Signature::Deserialize(r);
+    return m;
+  }
   std::string Name() const override { return "Vote"; }
+
+ private:
+  void EncodeSignedPrefix(ByteWriter& w) const {
+    w.U64(view);
+    w.Raw(block.data(), block.size());
+  }
 };
 
+// Body: view u64 | block 32 | voter count u32 | voter ids u32 each |
+// aggregate-signature placeholder 64 | missing-child suspicions, 20 bytes
+// each (suspector u32, suspect u32, round u64, type u16, phase u16), to end
+// of body. The aggregate bytes are a modeled certificate (zero-filled; the
+// CryptoCostModel charges its aggregation/verification CPU), matching the
+// old declared kSignatureSize constant.
 struct AggregateMsg : Message {
   uint64_t view = 0;
   Digest block{};
-  std::vector<ReplicaId> voters;               // children (and self) that voted
-  std::vector<SuspicionRecord> missing;        // suspicions for absent children
-  bool corrupt = false;                        // Byzantine aggregator artifact
+  std::vector<ReplicaId> voters;         // children (and self) that voted
+  std::vector<SuspicionRecord> missing;  // suspicions for absent children
+  bool corrupt = false;                  // Byzantine aggregator artifact
 
   int type() const override { return kMsgAggregate; }
-  size_t WireSize() const override {
-    return 8 + 32 + 4 + 4 * voters.size() + kSignatureSize + 20 * missing.size();
+  MsgFamily family() const override { return MsgFamily::kHotStuff; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U64(view);
+    w.Raw(block.data(), block.size());
+    w.U32(static_cast<uint32_t>(voters.size()));
+    for (ReplicaId v : voters) {
+      w.U32(v);
+    }
+    w.ZeroPad(kSignatureSize);
+    for (const SuspicionRecord& s : missing) {
+      w.U32(s.suspector);
+      w.U32(s.suspect);
+      w.U64(s.round);
+      w.U16(static_cast<uint16_t>(s.type));
+      w.U16(static_cast<uint16_t>(s.phase));
+    }
+  }
+  static IntrusivePtr<AggregateMsg> Decode(int /*type*/, ByteReader& r) {
+    auto m = MakeMessage<AggregateMsg>();
+    m->view = r.U64();
+    r.Raw(m->block.data(), m->block.size());
+    const uint32_t voters = r.U32();
+    if (!r.ok() || r.remaining() < 4ull * voters + kSignatureSize) {
+      r.Skip(r.remaining() + 1);  // poison: truncated voter list
+      return m;
+    }
+    m->voters.reserve(voters);
+    for (uint32_t i = 0; i < voters; ++i) {
+      m->voters.push_back(r.U32());
+    }
+    r.Skip(kSignatureSize);
+    while (r.ok() && r.remaining() >= 20) {
+      SuspicionRecord s;
+      s.suspector = r.U32();
+      s.suspect = r.U32();
+      s.round = r.U64();
+      s.type = static_cast<SuspicionType>(r.U16());
+      s.phase = static_cast<PhaseTag>(r.U16());
+      m->missing.push_back(s);
+    }
+    if (r.remaining() != 0) {
+      r.Skip(r.remaining() + 1);  // poison: trailing partial record
+    }
+    return m;
   }
   std::string Name() const override { return "Aggregate"; }
 };
 
+// Body: nonce u64 | echo slot u64 (zero; kept so probe and reply frames are
+// the same 16 bytes the declared size modeled). Direction rides the type
+// tag.
 struct ProbeMsg : Message {
   uint64_t nonce = 0;
   bool reply = false;
 
   int type() const override { return reply ? kMsgProbeReply : kMsgProbe; }
-  size_t WireSize() const override { return 16; }
+  MsgFamily family() const override { return MsgFamily::kHotStuff; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U64(nonce);
+    w.ZeroPad(8);
+  }
+  static IntrusivePtr<ProbeMsg> Decode(int type, ByteReader& r) {
+    auto m = MakeMessage<ProbeMsg>();
+    m->reply = type == kMsgProbeReply;
+    m->nonce = r.U64();
+    r.Skip(8);
+    return m;
+  }
   std::string Name() const override { return reply ? "ProbeReply" : "Probe"; }
 };
 

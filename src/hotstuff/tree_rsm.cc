@@ -47,18 +47,27 @@ void TreeReplica::OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) {
 
 void TreeReplica::HandlePropose(ReplicaId from, const ProposeMsg& msg, SimTime at) {
   (void)from;
-  (void)at;
   const TreeTopology& tree = harness_->tree_;
   if (!tree.Contains(id_) || tree.IsRoot(id_)) {
     return;
   }
+  if (CpuMeter* cpu = harness_->net_->cpu()) {
+    // Receiving a proposal: hash the batch against the block digest and
+    // verify the proposer's signature before acting on it.
+    cpu->ChargeHash(id_, at, msg.WireSize());
+    cpu->ChargeVerify(id_, at);
+  }
   const std::vector<ReplicaId>& children = tree.ChildrenOf(id_);
   if (children.empty()) {
-    // Leaf: vote straight to the parent.
+    // Leaf: vote straight to the parent. The vote is signed over its
+    // canonical prefix — the exact bytes that go on the wire.
     auto vote = harness_->sim_->pool().Make<VoteMsg>();
     vote->view = msg.view;
     vote->block = msg.block;
-    vote->sig = harness_->keys_->Sign(id_, msg.block);
+    vote->sig = harness_->keys_->Sign(id_, vote->SigningBytes());
+    if (CpuMeter* cpu = harness_->net_->cpu()) {
+      cpu->ChargeSign(id_, at);
+    }
     harness_->net_->Send(id_, tree.ParentOf(id_), std::move(vote));
     return;
   }
@@ -101,6 +110,15 @@ void TreeReplica::OnTimer(uint64_t tag, SimTime at) {
 
 void TreeReplica::HandleVote(ReplicaId from, const VoteMsg& msg) {
   const TreeTopology& tree = harness_->tree_;
+  if (CpuMeter* cpu = harness_->net_->cpu()) {
+    // One incoming vote share: verified individually under per-vote
+    // pricing, folded into the forming aggregate under aggregate-QC.
+    if (harness_->opts_.vote_verification == VoteVerification::kPerVote) {
+      cpu->ChargeVerify(id_, harness_->sim_->now());
+    } else {
+      cpu->ChargeQcAggregate(id_, harness_->sim_->now(), 1);
+    }
+  }
   if (tree.IsRoot(id_)) {
     harness_->OnRootVotes(msg.view, msg.block, {from});
     return;
@@ -160,6 +178,9 @@ void TreeReplica::MaybeSendAggregate(uint64_t view) {
       harness_->RecordSuspicion(rec);
     }
   }
+  if (CpuMeter* cpu = harness_->net_->cpu()) {
+    cpu->ChargeSign(id_, harness_->sim_->now());  // sign the aggregate
+  }
   harness_->net_->Send(id_, tree.ParentOf(id_), std::move(msg));
 }
 
@@ -168,6 +189,15 @@ void TreeReplica::HandleAggregate(ReplicaId from, const AggregateMsg& msg) {
   const TreeTopology& tree = harness_->tree_;
   if (!tree.IsRoot(id_)) {
     return;
+  }
+  if (CpuMeter* cpu = harness_->net_->cpu()) {
+    // The cost asymmetry the qc_crossover scenario pins: k individual
+    // verifications vs one aggregate verification with a per-signer tail.
+    if (harness_->opts_.vote_verification == VoteVerification::kPerVote) {
+      cpu->ChargeVerify(id_, harness_->sim_->now(), msg.voters.size());
+    } else {
+      cpu->ChargeQcVerify(id_, harness_->sim_->now(), msg.voters.size());
+    }
   }
   harness_->OnRootVotes(msg.view, msg.block, msg.voters);
   for (const SuspicionRecord& rec : msg.missing) {
@@ -249,6 +279,19 @@ MetricsReport TreeRsm::Metrics() const {
   report.reconfig_times = reconfig_times_;
   report.suspicion_times = suspicion_times_;
   report.event_core = sim_->event_core_stats();
+  report.wire_messages = net_->stats().messages_sent;
+  report.wire_bytes = net_->stats().bytes_sent;
+  if (const CpuMeter* cpu = net_->cpu()) {
+    report.crypto.enabled = true;
+    report.crypto.signs = cpu->signs();
+    report.crypto.verifies = cpu->verifies();
+    report.crypto.hashes = cpu->hashes();
+    report.crypto.hashed_bytes = cpu->hashed_bytes();
+    report.crypto.qc_aggregated_shares = cpu->qc_aggregated_shares();
+    report.crypto.qc_verifies = cpu->qc_verifies();
+    report.crypto.busy_ns_total = cpu->busy_ns_total();
+    report.crypto.busy_ns_max_replica = cpu->busy_ns_max_replica();
+  }
   if (fleet_ != nullptr) {
     fleet_->FillReport(report.workload);
   }
@@ -356,6 +399,11 @@ void TreeRsm::StartRound() {
                             ? static_cast<uint32_t>(round.batch.size())
                             : opts_.batch_size;
   propose->cmd_bytes = opts_.cmd_bytes;
+  if (CpuMeter* cpu = net_->cpu()) {
+    // Proposing: hash the batch into the block digest, sign the proposal.
+    cpu->ChargeHash(tree_.root(), sim_->now(), propose->WireSize());
+    cpu->ChargeSign(tree_.root(), sim_->now());
+  }
   for (ReplicaId child : tree_.ChildrenOf(tree_.root())) {
     net_->Send(tree_.root(), child, propose);
   }
@@ -407,6 +455,11 @@ void TreeRsm::CommitRound(uint64_t view) {
       reply->seq = view;
       if (i < results.size()) {
         reply->result = std::move(results[i]);
+      }
+      if (CpuMeter* cpu = net_->cpu()) {
+        // Replies are MAC-authenticated per client (hash-cost, not a full
+        // signature) — the BFT-SMaRt reply model.
+        cpu->ChargeHash(round.proposer, sim_->now(), reply->WireSize());
       }
       net_->Send(round.proposer, req.client, std::move(reply));
     }

@@ -39,6 +39,15 @@
 
 namespace optilog {
 
+// How vote authentication is priced when a CryptoCostModel is attached
+// (cost-only — the message flow is identical either way):
+//   kPerVote:     Ed25519-style, every vote in an aggregate verified
+//                 individually (k * verify_ns at the root).
+//   kAggregateQc: BLS-style, intermediates fold shares cheaply and the root
+//                 verifies one aggregate (qc_verify_base_ns + k * signer).
+// The crossover between the two is the qc_crossover scenario's pin.
+enum class VoteVerification { kPerVote, kAggregateQc };
+
 struct TreeRsmOptions {
   uint32_t n = 0;
   uint32_t f = 0;
@@ -61,6 +70,9 @@ struct TreeRsmOptions {
   // star topologies.
   bool rotate_root = false;
   bool enable_suspicion_sensor = false;
+  // Vote-authentication pricing under a CryptoCostModel; ignored without
+  // one. Aggregate certificates are the family's default (Kauri/HotStuff).
+  VoteVerification vote_verification = VoteVerification::kAggregateQc;
   // When set, the harness stops self-driving proposals: a ClientFleet sends
   // requests to the root, which batches them under the workload's
   // BatchPolicy (size/deadline triggers) and replies at the commit boundary.

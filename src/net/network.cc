@@ -27,9 +27,9 @@ SimTime Network::PerturbPropagation(const OutboundProfile& profile,
   return propagation + profile.proposal_extra;
 }
 
-SimTime Network::OccupyUplink(ReplicaId from, size_t bytes) {
+SimTime Network::OccupyUplink(ReplicaId from, size_t bytes, SimTime not_before) {
   if (bandwidth_bps_ <= 0.0) {
-    return sim_->now();
+    return not_before;
   }
   const SimTime serialize =
       static_cast<SimTime>(static_cast<double>(bytes) * 8.0 / bandwidth_bps_ * kSec);
@@ -37,7 +37,7 @@ SimTime Network::OccupyUplink(ReplicaId from, size_t bytes) {
     uplink_free_at_.resize(from + 1, 0);
   }
   SimTime& free_at = uplink_free_at_[from];
-  const SimTime start = std::max(free_at, sim_->now());
+  const SimTime start = std::max(free_at, not_before);
   free_at = start + serialize;
   return free_at;
 }
@@ -74,7 +74,7 @@ void Network::Send(ReplicaId from, ReplicaId to, MessagePtr msg) {
   }
   ++stats_.messages_sent;
   stats_.bytes_sent += msg->WireSize();
-  const SimTime sent_at = OccupyUplink(from, msg->WireSize());
+  const SimTime sent_at = OccupyUplink(from, msg->WireSize(), SendBase(from));
   const OutboundProfile profile = ClassifyOutbound(from, *msg);
   const SimTime delay = (sent_at - sim_->now()) +
                         PerturbPropagation(profile, latency_->OneWay(from, to));
@@ -95,6 +95,7 @@ void Network::Multicast(ReplicaId from, const std::vector<ReplicaId>& to,
   // the uplink separately (the star-bottleneck effect).
   const OutboundProfile profile = ClassifyOutbound(from, *msg);
   const size_t wire = msg->WireSize();
+  const SimTime base = SendBase(from);
   const std::vector<SimTime>* row = latency_->OneWayRow(from);
   scratch_.clear();
   for (ReplicaId dest : to) {
@@ -104,7 +105,7 @@ void Network::Multicast(ReplicaId from, const std::vector<ReplicaId>& to,
     }
     ++stats_.messages_sent;
     stats_.bytes_sent += wire;
-    const SimTime sent_at = OccupyUplink(from, wire);
+    const SimTime sent_at = OccupyUplink(from, wire, base);
     const SimTime prop =
         row != nullptr ? row->at(dest) : latency_->OneWay(from, dest);
     const SimTime delay =
@@ -119,7 +120,10 @@ void Network::SendSelf(ReplicaId id, MessagePtr msg) {
   if (faults_->IsCrashedAt(id, sim_->now())) {
     return;
   }
-  sim_->ScheduleDelivery(0, &loopback_, id, id, std::move(msg));
+  // Loopback skips the wire but not the CPU: a crypto-saturated replica
+  // processes its own messages late too. Zero without a cost model.
+  const SimTime delay = SendBase(id) - sim_->now();
+  sim_->ScheduleDelivery(delay, &loopback_, id, id, std::move(msg));
 }
 
 }  // namespace optilog

@@ -19,8 +19,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "src/crypto/cost_model.h"
 #include "src/net/fault_model.h"
 #include "src/net/latency_model.h"
 #include "src/sim/actor.h"
@@ -53,6 +55,17 @@ class Network : private DeliverySink {
   // a star leader the bottleneck that tree overlays (Kauri, §6.1.1) remove.
   void SetBandwidthBps(double bps) { bandwidth_bps_ = bps; }
   double bandwidth_bps() const { return bandwidth_bps_; }
+
+  // Attaches a CryptoCostModel: protocols charge sign/verify/hash work to
+  // the meter, and every send departs no earlier than the sender's CPU
+  // busy-until horizon (crypto backlog delays sends the way bandwidth
+  // backlog does). Disabled by default; with no meter attached the send
+  // path is byte-identical to the pre-cost-model behavior.
+  void EnableCpuCost(const CryptoCostModel& model) {
+    cpu_ = std::make_unique<CpuMeter>(model);
+  }
+  CpuMeter* cpu() { return cpu_.get(); }
+  const CpuMeter* cpu() const { return cpu_.get(); }
 
   // Classification hook: messages for which this returns true receive the
   // sender's proposal_delay. Protocols set it to match their Propose /
@@ -107,8 +120,16 @@ class Network : private DeliverySink {
                              SimTime propagation) const;
 
   // Time the sender's NIC finishes serializing this message; advances the
-  // per-sender busy horizon.
-  SimTime OccupyUplink(ReplicaId from, size_t bytes);
+  // per-sender busy horizon. Serialization starts no earlier than
+  // `not_before` (the sender's CPU-ready instant when a cost model is
+  // attached; now() otherwise).
+  SimTime OccupyUplink(ReplicaId from, size_t bytes, SimTime not_before);
+
+  // Departure base for `from`'s next send: the CPU-ready instant under a
+  // cost model, now() without one.
+  SimTime SendBase(ReplicaId from) const {
+    return cpu_ != nullptr ? cpu_->ReadyAt(from, sim_->now()) : sim_->now();
+  }
 
   // Dense actor table; a hole (nullptr) is an unregistered id.
   Actor* ActorOf(ReplicaId id) const {
@@ -124,6 +145,7 @@ class Network : private DeliverySink {
   // of per-call vector allocations once it reaches steady-state size.
   std::vector<Simulator::BatchDelivery> scratch_;
   double bandwidth_bps_ = 0.0;
+  std::unique_ptr<CpuMeter> cpu_;  // null = cost model disabled
   std::function<bool(const Message&)> is_proposal_;
   std::function<bool(const Message&)> is_probe_;
   LoopbackSink loopback_;

@@ -1,6 +1,9 @@
 // Wire messages for the PBFT / BFT-SMaRt / Aware family (§5, §7.1).
 // Aware names: Propose / Write / Accept == PBFT's Pre-Prepare / Prepare /
-// Commit. Sizes model BFT-SMaRt's MAC-vector-free signed messages.
+// Commit. Canonical encodings follow the conventions in DESIGN.md ("Wire
+// format and cost model"); sizes model BFT-SMaRt's MAC-vector-free signed
+// messages — the trailing 64-byte signature fields are modeled (zero-filled
+// placeholders whose CPU cost the CryptoCostModel charges).
 // Client-facing request/reply messages (and RequestRef) live in the shared
 // workload layer (src/workload/messages.h) — both protocol families serve
 // the same client fleet.
@@ -23,6 +26,15 @@ enum PbftMsgType {
   kMsgPbftProbeReply = 16,
 };
 
+// Body: seq u64 | leader u32 | timestamp i64 | batch count u32 | per request
+// (client u32, request_id u64, sent_at i64, shard u32, op blob) |
+// measurements as length-prefixed blobs | signature placeholder 64.
+//
+// Intentional delta vs the old declared size (8 + 4 + 8 + 16/request +
+// op bytes + measurements + 64): +4 for the explicit batch count and
+// +12/request — the old arithmetic under-counted the per-request header
+// (sent_at, shard, and the op length prefix were free). fig13's proposal
+// rows move accordingly; see EXPERIMENTS.md.
 struct PrePrepareMsg : Message {
   uint64_t seq = 0;
   ReplicaId leader = kNoReplica;
@@ -31,37 +43,98 @@ struct PrePrepareMsg : Message {
   std::vector<Bytes> measurements;  // piggybacked OptiLog records
 
   int type() const override { return kMsgPrePrepare; }
-  size_t WireSize() const override {
-    size_t measurement_bytes = 0;
+  MsgFamily family() const override { return MsgFamily::kPbft; }
+  void EncodeTo(ByteWriter& w) const override {
+    EncodeBatchSection(w);
     for (const Bytes& m : measurements) {
-      measurement_bytes += m.size() + 4;
+      w.Blob(m);
     }
-    size_t op_bytes = 0;
-    for (const RequestRef& r : batch) {
-      op_bytes += r.op.size();
+    w.ZeroPad(kSignatureSize);
+  }
+  // The instance-identifying prefix (seq + leader + timestamp + batch):
+  // what BatchDigest hashes, so the digest replicas agree on covers exactly
+  // the canonical bytes of the proposal it certifies.
+  void EncodeBatchSection(ByteWriter& w) const {
+    w.U64(seq);
+    w.U32(leader);
+    w.I64(timestamp);
+    w.U32(static_cast<uint32_t>(batch.size()));
+    for (const RequestRef& req : batch) {
+      w.U32(req.client);
+      w.U64(req.request_id);
+      w.I64(req.sent_at);
+      w.U32(req.shard);
+      w.Blob(req.op);
     }
-    return 8 + 4 + 8 + 16 * batch.size() + op_bytes + measurement_bytes +
-           kSignatureSize;
+  }
+  static IntrusivePtr<PrePrepareMsg> Decode(int /*type*/, ByteReader& r) {
+    auto m = MakeMessage<PrePrepareMsg>();
+    m->seq = r.U64();
+    m->leader = r.U32();
+    m->timestamp = r.I64();
+    const uint32_t count = r.U32();
+    for (uint32_t i = 0; r.ok() && i < count; ++i) {
+      RequestRef req;
+      req.client = r.U32();
+      req.request_id = r.U64();
+      req.sent_at = r.I64();
+      req.shard = r.U32();
+      req.op = r.Blob();
+      m->batch.push_back(std::move(req));
+    }
+    while (r.ok() && r.remaining() > kSignatureSize) {
+      m->measurements.push_back(r.Blob());
+    }
+    r.Skip(kSignatureSize);
+    return m;
   }
   std::string Name() const override { return "PrePrepare"; }
 };
 
-struct PhaseMsg : Message {  // Write or Accept
+// Body: seq u64 | digest 32 | signature placeholder 64 (104 bytes, matching
+// the old declared size). Write vs Accept rides the type tag.
+struct PhaseMsg : Message {
   bool accept = false;
   uint64_t seq = 0;
   Digest digest{};
 
   int type() const override { return accept ? kMsgAccept : kMsgWrite; }
-  size_t WireSize() const override { return 8 + 32 + kSignatureSize; }
+  MsgFamily family() const override { return MsgFamily::kPbft; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U64(seq);
+    w.Raw(digest.data(), digest.size());
+    w.ZeroPad(kSignatureSize);
+  }
+  static IntrusivePtr<PhaseMsg> Decode(int type, ByteReader& r) {
+    auto m = MakeMessage<PhaseMsg>();
+    m->accept = type == kMsgAccept;
+    m->seq = r.U64();
+    r.Raw(m->digest.data(), m->digest.size());
+    r.Skip(kSignatureSize);
+    return m;
+  }
   std::string Name() const override { return accept ? "Accept" : "Write"; }
 };
 
+// Body: nonce u64 | echo slot u64 (zero) — same 16 bytes as the tree
+// family's probe; direction rides the type tag.
 struct PbftProbeMsg : Message {
   uint64_t nonce = 0;
   bool reply = false;
 
   int type() const override { return reply ? kMsgPbftProbeReply : kMsgPbftProbe; }
-  size_t WireSize() const override { return 16; }
+  MsgFamily family() const override { return MsgFamily::kPbft; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U64(nonce);
+    w.ZeroPad(8);
+  }
+  static IntrusivePtr<PbftProbeMsg> Decode(int type, ByteReader& r) {
+    auto m = MakeMessage<PbftProbeMsg>();
+    m->reply = type == kMsgPbftProbeReply;
+    m->nonce = r.U64();
+    r.Skip(8);
+    return m;
+  }
   std::string Name() const override { return reply ? "ProbeReply" : "Probe"; }
 };
 

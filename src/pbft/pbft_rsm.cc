@@ -8,14 +8,13 @@
 namespace optilog {
 namespace {
 
-Digest BatchDigest(uint64_t seq, const std::vector<RequestRef>& batch) {
+Digest BatchDigest(const PrePrepareMsg& msg) {
+  // The digest Write/Accept quorums form over is the SHA-256 of the
+  // Pre-Prepare's canonical batch section — the exact bytes on the wire,
+  // not a parallel ad-hoc serialization.
   Bytes seed;
   ByteWriter w(&seed);
-  w.U64(seq);
-  for (const RequestRef& r : batch) {
-    w.U32(r.client);
-    w.U64(r.request_id);
-  }
+  msg.EncodeBatchSection(w);
   return Sha256::Hash(seed);
 }
 
@@ -51,10 +50,15 @@ void PbftReplica::HandlePrePrepare(ReplicaId from, const PrePrepareMsg& msg,
   if (from != harness_->config_.leader && from != msg.leader) {
     return;
   }
+  if (CpuMeter* cpu = harness_->net_->cpu()) {
+    // Verify the leader's signature, recompute the batch digest.
+    cpu->ChargeVerify(id_, at);
+    cpu->ChargeHash(id_, at, msg.WireSize());
+  }
   Instance& inst = instances_[msg.seq];
   inst.proposal_ts = msg.timestamp;
   inst.leader = msg.leader;
-  inst.digest = BatchDigest(msg.seq, msg.batch);
+  inst.digest = BatchDigest(msg);
   inst.batch = msg.batch;
   inst.have_preprepare = true;
 
@@ -81,6 +85,9 @@ void PbftReplica::HandlePrePrepare(ReplicaId from, const PrePrepareMsg& msg,
   write->accept = false;
   write->seq = msg.seq;
   write->digest = inst.digest;
+  if (CpuMeter* cpu = harness_->net_->cpu()) {
+    cpu->ChargeSign(id_, at);
+  }
   std::vector<ReplicaId> all(harness_->opts_.n);
   for (ReplicaId id = 0; id < harness_->opts_.n; ++id) {
     all[id] = id;
@@ -90,6 +97,9 @@ void PbftReplica::HandlePrePrepare(ReplicaId from, const PrePrepareMsg& msg,
 }
 
 void PbftReplica::HandlePhase(ReplicaId from, const PhaseMsg& msg, SimTime at) {
+  if (CpuMeter* cpu = harness_->net_->cpu()) {
+    cpu->ChargeVerify(id_, at);  // the sender's phase signature
+  }
   Instance& inst = instances_[msg.seq];
   const double weight =
       harness_->opts_.mode == PbftMode::kPbft
@@ -153,6 +163,9 @@ void PbftReplica::MaybeAdvance(uint64_t seq) {
     accept->accept = true;
     accept->seq = seq;
     accept->digest = inst.digest;
+    if (CpuMeter* cpu = harness_->net_->cpu()) {
+      cpu->ChargeSign(id_, harness_->sim_->now());
+    }
     std::vector<ReplicaId> all(harness_->opts_.n);
     for (ReplicaId id = 0; id < harness_->opts_.n; ++id) {
       all[id] = id;
@@ -180,6 +193,10 @@ void PbftReplica::Commit(uint64_t seq) {
           reply->request_id = req.request_id;
           reply->seq = seq;
           reply->result = result;
+          if (CpuMeter* cpu = harness_->net_->cpu()) {
+            // Per-client reply MACs (hash-cost, not full signatures).
+            cpu->ChargeHash(id_, harness_->sim_->now(), reply->WireSize());
+          }
           harness_->net_->Send(id_, req.client, std::move(reply));
         });
   } else {
@@ -187,6 +204,9 @@ void PbftReplica::Commit(uint64_t seq) {
       auto reply = harness_->sim_->pool().Make<ClientReplyMsg>();
       reply->request_id = req.request_id;
       reply->seq = seq;
+      if (CpuMeter* cpu = harness_->net_->cpu()) {
+        cpu->ChargeHash(id_, harness_->sim_->now(), reply->WireSize());
+      }
       harness_->net_->Send(id_, req.client, std::move(reply));
     }
   }
@@ -339,6 +359,19 @@ MetricsReport PbftHarness::Metrics() const {
   report.suspicion_times = suspicion_times_;
   report.log_head_hex = DigestHex(log_.head());
   report.event_core = sim_->event_core_stats();
+  report.wire_messages = net_->stats().messages_sent;
+  report.wire_bytes = net_->stats().bytes_sent;
+  if (const CpuMeter* cpu = net_->cpu()) {
+    report.crypto.enabled = true;
+    report.crypto.signs = cpu->signs();
+    report.crypto.verifies = cpu->verifies();
+    report.crypto.hashes = cpu->hashes();
+    report.crypto.hashed_bytes = cpu->hashed_bytes();
+    report.crypto.qc_aggregated_shares = cpu->qc_aggregated_shares();
+    report.crypto.qc_verifies = cpu->qc_verifies();
+    report.crypto.busy_ns_total = cpu->busy_ns_total();
+    report.crypto.busy_ns_max_replica = cpu->busy_ns_max_replica();
+  }
   if (fleet_ != nullptr) {
     fleet_->FillReport(report.workload);
   }
@@ -392,6 +425,11 @@ void PbftHarness::ProposeNext(SimTime now) {
   msg->batch = queue_->PopBatch(
       now, queue_->depth() >= queue_->policy().max_batch ? BatchTrigger::kSize
                                                          : BatchTrigger::kIdle);
+  if (CpuMeter* cpu = net_->cpu()) {
+    // Proposing: digest the batch, sign the Pre-Prepare.
+    cpu->ChargeHash(config_.leader, now, msg->WireSize());
+    cpu->ChargeSign(config_.leader, now);
+  }
   std::vector<ReplicaId> all(opts_.n);
   for (ReplicaId id = 0; id < opts_.n; ++id) {
     all[id] = id;
@@ -420,6 +458,9 @@ void PbftHarness::OnCommitAtLeader(uint64_t seq, uint32_t batch_size) {
 }
 
 void PbftHarness::CommitMeasurement(const Measurement& m) {
+  if (CpuMeter* cpu = net_->cpu()) {
+    cpu->ChargeSign(m.sig.signer, sim_->now());
+  }
   AppendMeasurement(log_, sim_->now(), m.Encode());
 }
 

@@ -146,6 +146,23 @@ struct TxnReport {
   double cross_shard_p99_ms = 0.0;
 };
 
+// Modeled crypto/CPU accounting (src/crypto/cost_model.h), filled when the
+// deployment attaches a CryptoCostModel; all zeros with `enabled == false`
+// otherwise. Counters are whole-deployment op counts; busy_ns_* is the
+// modeled CPU time charged (total across replicas, and the single most
+// loaded replica — the compute bottleneck).
+struct CryptoReport {
+  bool enabled = false;
+  uint64_t signs = 0;
+  uint64_t verifies = 0;
+  uint64_t hashes = 0;
+  uint64_t hashed_bytes = 0;
+  uint64_t qc_aggregated_shares = 0;
+  uint64_t qc_verifies = 0;
+  uint64_t busy_ns_total = 0;
+  uint64_t busy_ns_max_replica = 0;
+};
+
 // Protocol-agnostic snapshot of a run's outcome: what every ConsensusEngine
 // reports regardless of whether "committed" counts tree blocks or PBFT
 // instances. Benches and tests consume this instead of reaching into
@@ -179,6 +196,16 @@ struct MetricsReport {
   // Cross-shard transaction accounting; enabled only for sharded
   // deployments driving a transaction workload (src/shard/).
   TxnReport txn;
+  // Bytes-on-wire accounting, always filled: every non-loopback send's
+  // canonical WireSize() summed over the run (multicast counts one copy
+  // per recipient, matching the uplink serialization model).
+  uint64_t wire_messages = 0;
+  uint64_t wire_bytes = 0;
+  // Modeled crypto/CPU accounting; enabled only under
+  // Deployment::Builder::WithCryptoCostModel. Folded into the metrics
+  // fingerprint only when enabled, so cost-model-free runs keep their
+  // pre-cost-model fingerprints.
+  CryptoReport crypto;
 
   double MeanOps(size_t from_sec, size_t to_sec) const {
     return MeanOpsPerSec(throughput_per_sec, from_sec, to_sec);

@@ -246,6 +246,22 @@ std::string MetricsFingerprint(const MetricsReport& m) {
     blob += FormatDouble(m.txn.cross_shard_p95_ms) + "|";
     blob += FormatDouble(m.txn.cross_shard_p99_ms) + "|";
   }
+  // Crypto/wire section: appended only under a CryptoCostModel, so every
+  // cost-model-free fingerprint hashes the exact same blob as before the
+  // wire/cost redesign — the acceptance gate for the canonical encodings.
+  if (m.crypto.enabled) {
+    blob += "crypto|";
+    u(m.wire_messages);
+    u(m.wire_bytes);
+    u(m.crypto.signs);
+    u(m.crypto.verifies);
+    u(m.crypto.hashes);
+    u(m.crypto.hashed_bytes);
+    u(m.crypto.qc_aggregated_shares);
+    u(m.crypto.qc_verifies);
+    u(m.crypto.busy_ns_total);
+    u(m.crypto.busy_ns_max_replica);
+  }
   return DigestHex(Sha256::Hash(blob));
 }
 

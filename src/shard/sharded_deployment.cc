@@ -68,6 +68,20 @@ MetricsReport ShardedDeployment::Metrics() {
     agg.suspicion_times.insert(agg.suspicion_times.end(),
                                m.suspicion_times.begin(),
                                m.suspicion_times.end());
+    agg.wire_messages += m.wire_messages;
+    agg.wire_bytes += m.wire_bytes;
+    if (m.crypto.enabled) {
+      agg.crypto.enabled = true;
+      agg.crypto.signs += m.crypto.signs;
+      agg.crypto.verifies += m.crypto.verifies;
+      agg.crypto.hashes += m.crypto.hashes;
+      agg.crypto.hashed_bytes += m.crypto.hashed_bytes;
+      agg.crypto.qc_aggregated_shares += m.crypto.qc_aggregated_shares;
+      agg.crypto.qc_verifies += m.crypto.qc_verifies;
+      agg.crypto.busy_ns_total += m.crypto.busy_ns_total;
+      agg.crypto.busy_ns_max_replica =
+          std::max(agg.crypto.busy_ns_max_replica, m.crypto.busy_ns_max_replica);
+    }
 
     const WorkloadReport& w = m.workload;
     if (w.enabled) {

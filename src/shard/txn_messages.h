@@ -6,6 +6,11 @@
 // each group), and finally coordinator -> client (TxnReplyMsg). Single-shard
 // transactions skip the coordinator entirely: the client sends a kMulti
 // record straight to the shard leader.
+//
+// Canonical encodings are byte-for-byte the old declared sizes; the 64-byte
+// signature fields are modeled placeholders. Type tags 40/41 collide with
+// the state-transfer family — MsgFamily::kShard disambiguates in the decode
+// registry.
 #pragma once
 
 #include "src/crypto/signature.h"
@@ -20,6 +25,9 @@ enum ShardMsgType {
   kMsgTxnReply = 41,
 };
 
+// Body: client u32 | request_id u64 | sent_at i64 | op count u32 | per op
+// (kind u8, key u64, arg u64 — KvOp's 17-byte encoding) | signature
+// placeholder 64.
 struct TxnRequestMsg : Message {
   ReplicaId client = kNoReplica;
   uint64_t request_id = 0;  // monotonic per client; coordinator dedup key
@@ -27,12 +35,40 @@ struct TxnRequestMsg : Message {
   std::vector<KvOp> ops;
 
   int type() const override { return kMsgTxnRequest; }
-  size_t WireSize() const override {
-    return 24 + ops.size() * 17 + kSignatureSize;
+  MsgFamily family() const override { return MsgFamily::kShard; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U32(client);
+    w.U64(request_id);
+    w.I64(sent_at);
+    w.U32(static_cast<uint32_t>(ops.size()));
+    for (const KvOp& op : ops) {
+      w.U8(static_cast<uint8_t>(op.kind));
+      w.U64(op.key);
+      w.U64(op.arg);
+    }
+    w.ZeroPad(kSignatureSize);
+  }
+  static IntrusivePtr<TxnRequestMsg> Decode(int /*type*/, ByteReader& r) {
+    auto m = MakeMessage<TxnRequestMsg>();
+    m->client = r.U32();
+    m->request_id = r.U64();
+    m->sent_at = r.I64();
+    const uint32_t count = r.U32();
+    for (uint32_t i = 0; r.ok() && i < count; ++i) {
+      KvOp op;
+      op.kind = static_cast<KvOpKind>(r.U8());
+      op.key = r.U64();
+      op.arg = r.U64();
+      m->ops.push_back(op);
+    }
+    r.Skip(kSignatureSize);
+    return m;
   }
   std::string Name() const override { return "TxnRequest"; }
 };
 
+// Body: request_id u64 | committed u32 | results blob | signature
+// placeholder 64.
 struct TxnReplyMsg : Message {
   uint64_t request_id = 0;
   bool committed = false;
@@ -42,8 +78,20 @@ struct TxnReplyMsg : Message {
   Bytes results;
 
   int type() const override { return kMsgTxnReply; }
-  size_t WireSize() const override {
-    return 16 + results.size() + kSignatureSize;
+  MsgFamily family() const override { return MsgFamily::kShard; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U64(request_id);
+    w.U32(committed ? 1 : 0);
+    w.Blob(results);
+    w.ZeroPad(kSignatureSize);
+  }
+  static IntrusivePtr<TxnReplyMsg> Decode(int /*type*/, ByteReader& r) {
+    auto m = MakeMessage<TxnReplyMsg>();
+    m->request_id = r.U64();
+    m->committed = r.U32() != 0;
+    m->results = r.Blob();
+    r.Skip(kSignatureSize);
+    return m;
   }
   std::string Name() const override { return "TxnReply"; }
 };

@@ -3,9 +3,11 @@
 //
 // Messages are immutable once sent; the network hands the same MessagePtr to
 // every multicast recipient. Each protocol defines its own subclasses and
-// downcasts on a type tag. WireSize() is the serialized size in bytes — the
-// network tracks it for bandwidth accounting and Fig. 13 reports it for
-// proposals.
+// downcasts on a type tag. Every subclass implements EncodeTo() — the
+// canonical wire encoding — and WireSize() is NON-virtual: it runs EncodeTo
+// over a counting ByteWriter once and caches the result, so the bytes the
+// network charges for bandwidth are exactly the bytes a decoder would read
+// (src/wire/codec.h holds the (family, type) -> decoder registry).
 //
 // Threading contract: the refcount is deliberately NON-atomic. A message is
 // confined to the simulator (deployment) that created it for its whole life
@@ -25,15 +27,30 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/bytes.h"
+
 namespace optilog {
 
 class MessagePool;
+
+// Message namespace discriminator: protocol-scoped type tags (int type())
+// are only unique within a family — the statemachine and shard layers both
+// start at 40. The (family, type) pair keys the decode registry and rides
+// the wire as a 2-byte frame header (src/wire/codec.h).
+enum class MsgFamily : uint8_t {
+  kHotStuff = 1,  // Propose / Vote / Aggregate / Probe (src/hotstuff/)
+  kPbft = 2,      // PrePrepare / Write / Accept / Probe (src/pbft/)
+  kWorkload = 3,  // ClientRequest / ClientReply (src/workload/)
+  kState = 4,     // state-transfer fetch/chunk messages (src/statemachine/)
+  kShard = 5,     // TxnRequest / TxnReply (src/shard/)
+};
 
 class Message {
  public:
   Message() = default;
   // Copies are fresh objects: the refcount / pool identity of the source
-  // never transfers (a forwarded ProposeMsg is a new allocation).
+  // never transfers (a forwarded ProposeMsg is a new allocation). The
+  // wire-size cache stays behind too: the copy may be mutated before send.
   Message(const Message&) {}
   Message& operator=(const Message&) { return *this; }
   virtual ~Message() = default;
@@ -41,8 +58,27 @@ class Message {
   // Protocol-scoped discriminator; protocols define their own enums.
   virtual int type() const = 0;
 
-  // Serialized size in bytes (header + payload).
-  virtual size_t WireSize() const = 0;
+  // Which registry namespace type() lives in.
+  virtual MsgFamily family() const = 0;
+
+  // Canonical wire encoding of the message body. The (family, type) frame
+  // header is out-of-band (written by EncodeMessage / read by
+  // DecodeMessage), so flags folded into the type tag — forwarded,
+  // accept, probe-reply — never repeat inside the body.
+  virtual void EncodeTo(ByteWriter& w) const = 0;
+
+  // Serialized body size in bytes, computed from the actual encoding (one
+  // counting-mode EncodeTo pass, cached — messages are immutable once
+  // sent). Deliberately non-virtual: subclasses cannot declare a size
+  // different from what they encode.
+  size_t WireSize() const {
+    if (wire_size_ == 0) {
+      ByteWriter counter(nullptr);
+      EncodeTo(counter);
+      wire_size_ = static_cast<uint32_t>(counter.size());
+    }
+    return wire_size_;
+  }
 
   // Human-readable tag for traces.
   virtual std::string Name() const = 0;
@@ -67,6 +103,10 @@ class Message {
   // construction; never copied.
   MessagePool* pool_ = nullptr;
   uint32_t size_class_ = 0;
+  // WireSize() memo; 0 = not yet computed (no message encodes to zero
+  // bytes). Sits in what was base-class tail padding, so no subclass
+  // layout — and hence no MessagePool size class — moves.
+  mutable uint32_t wire_size_ = 0;
 };
 
 // Intrusive smart pointer over Message subclasses: copy bumps the embedded

@@ -297,6 +297,9 @@ void RsmGroup::OnStateChunk(ReplicaId id, const StateChunkMsg& msg,
     return;
   }
   // Snapshot complete: verify the digest before trusting a byte of it.
+  if (CpuMeter* cpu = net_->cpu()) {
+    cpu->ChargeHash(id, at, s.buffer.size());
+  }
   if (Sha256::Hash(s.buffer) != s.state_digest) {
     RestartSession(id, at);  // corrupt/byzantine donor: start over elsewhere
     return;

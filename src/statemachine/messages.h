@@ -9,6 +9,12 @@
 // a timeout that re-routes the transfer to the next live donor, resuming
 // from the chunks already received when the new donor holds the same
 // checkpoint. All of it rides the typed Delivery lane — no closures.
+//
+// Canonical encodings are byte-for-byte the old declared sizes (they feed
+// the fingerprinted transfer_bytes metric): fixed-width headers, raw
+// digests, a length-prefixed data blob, and a modeled 64-byte signature
+// placeholder. LogEntry's committed_at stays off the wire — it is
+// receiver-local, exactly as it is excluded from the chain hash.
 #pragma once
 
 #include <vector>
@@ -27,6 +33,8 @@ enum StateTransferMsgType {
   kMsgLogSuffixChunk = 43,
 };
 
+// Body: session u64 | chunk u64 | have_partial u8 | through_index u64 |
+// state digest 32 | signature placeholder 64 (121 bytes).
 struct StateFetchMsg : Message {
   uint64_t session = 0;  // recoverer's nonce; stale replies are dropped
   uint64_t chunk = 0;    // next snapshot chunk the recoverer needs
@@ -38,10 +46,31 @@ struct StateFetchMsg : Message {
   Digest state_digest{};
 
   int type() const override { return kMsgStateFetch; }
-  size_t WireSize() const override { return 8 + 8 + 1 + 8 + 32 + kSignatureSize; }
+  MsgFamily family() const override { return MsgFamily::kState; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U64(session);
+    w.U64(chunk);
+    w.U8(have_partial ? 1 : 0);
+    w.U64(through_index);
+    w.Raw(state_digest.data(), state_digest.size());
+    w.ZeroPad(kSignatureSize);
+  }
+  static IntrusivePtr<StateFetchMsg> Decode(int /*type*/, ByteReader& r) {
+    auto m = MakeMessage<StateFetchMsg>();
+    m->session = r.U64();
+    m->chunk = r.U64();
+    m->have_partial = r.U8() != 0;
+    m->through_index = r.U64();
+    r.Raw(m->state_digest.data(), m->state_digest.size());
+    r.Skip(kSignatureSize);
+    return m;
+  }
   std::string Name() const override { return "StateFetch"; }
 };
 
+// Body: session u64 | has_checkpoint u8 | through_index u64 | state digest
+// 32 | log head 32 | chunk u64 | total_chunks u64 | data blob | signature
+// placeholder 64.
 struct StateChunkMsg : Message {
   uint64_t session = 0;
   // Donor has no checkpoint yet: skip straight to a full-log suffix fetch
@@ -55,21 +84,59 @@ struct StateChunkMsg : Message {
   Bytes data;
 
   int type() const override { return kMsgStateChunk; }
-  size_t WireSize() const override {
-    return 8 + 1 + 8 + 32 + 32 + 8 + 8 + 4 + data.size() + kSignatureSize;
+  MsgFamily family() const override { return MsgFamily::kState; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U64(session);
+    w.U8(has_checkpoint ? 1 : 0);
+    w.U64(through_index);
+    w.Raw(state_digest.data(), state_digest.size());
+    w.Raw(log_head.data(), log_head.size());
+    w.U64(chunk);
+    w.U64(total_chunks);
+    w.Blob(data);
+    w.ZeroPad(kSignatureSize);
+  }
+  static IntrusivePtr<StateChunkMsg> Decode(int /*type*/, ByteReader& r) {
+    auto m = MakeMessage<StateChunkMsg>();
+    m->session = r.U64();
+    m->has_checkpoint = r.U8() != 0;
+    m->through_index = r.U64();
+    r.Raw(m->state_digest.data(), m->state_digest.size());
+    r.Raw(m->log_head.data(), m->log_head.size());
+    m->chunk = r.U64();
+    m->total_chunks = r.U64();
+    m->data = r.Blob();
+    r.Skip(kSignatureSize);
+    return m;
   }
   std::string Name() const override { return "StateChunk"; }
 };
 
+// Body: session u64 | from_index u64 | signature placeholder 64 (80 bytes).
 struct LogSuffixFetchMsg : Message {
   uint64_t session = 0;
   uint64_t from_index = 0;
 
   int type() const override { return kMsgLogSuffixFetch; }
-  size_t WireSize() const override { return 8 + 8 + kSignatureSize; }
+  MsgFamily family() const override { return MsgFamily::kState; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U64(session);
+    w.U64(from_index);
+    w.ZeroPad(kSignatureSize);
+  }
+  static IntrusivePtr<LogSuffixFetchMsg> Decode(int /*type*/, ByteReader& r) {
+    auto m = MakeMessage<LogSuffixFetchMsg>();
+    m->session = r.U64();
+    m->from_index = r.U64();
+    r.Skip(kSignatureSize);
+    return m;
+  }
   std::string Name() const override { return "LogSuffixFetch"; }
 };
 
+// Body: session u64 | from_index u64 | truncated_past u8 | head_after 32 |
+// donor_frontier u64 | entry count u32 | per entry (index u64, kind u8,
+// proposer u32, batch_size u32, payload blob) | signature placeholder 64.
 struct LogSuffixChunkMsg : Message {
   uint64_t session = 0;
   uint64_t from_index = 0;
@@ -81,12 +148,42 @@ struct LogSuffixChunkMsg : Message {
   uint64_t donor_frontier = 0;    // donor applied frontier at send time
 
   int type() const override { return kMsgLogSuffixChunk; }
-  size_t WireSize() const override {
-    size_t entry_bytes = 0;
+  MsgFamily family() const override { return MsgFamily::kState; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U64(session);
+    w.U64(from_index);
+    w.U8(truncated_past ? 1 : 0);
+    w.Raw(head_after.data(), head_after.size());
+    w.U64(donor_frontier);
+    w.U32(static_cast<uint32_t>(entries.size()));
     for (const LogEntry& e : entries) {
-      entry_bytes += 8 + 1 + 4 + 4 + 4 + e.payload.size();
+      w.U64(e.index);
+      w.U8(static_cast<uint8_t>(e.kind));
+      w.U32(e.proposer);
+      w.U32(e.batch_size);
+      w.Blob(e.payload);
     }
-    return 8 + 8 + 1 + 32 + 8 + 4 + entry_bytes + kSignatureSize;
+    w.ZeroPad(kSignatureSize);
+  }
+  static IntrusivePtr<LogSuffixChunkMsg> Decode(int /*type*/, ByteReader& r) {
+    auto m = MakeMessage<LogSuffixChunkMsg>();
+    m->session = r.U64();
+    m->from_index = r.U64();
+    m->truncated_past = r.U8() != 0;
+    r.Raw(m->head_after.data(), m->head_after.size());
+    m->donor_frontier = r.U64();
+    const uint32_t count = r.U32();
+    for (uint32_t i = 0; r.ok() && i < count; ++i) {
+      LogEntry e;
+      e.index = r.U64();
+      e.kind = static_cast<EntryKind>(r.U8());
+      e.proposer = r.U32();
+      e.batch_size = r.U32();
+      e.payload = r.Blob();
+      m->entries.push_back(std::move(e));
+    }
+    r.Skip(kSignatureSize);
+    return m;
   }
   std::string Name() const override { return "LogSuffixChunk"; }
 };

@@ -15,11 +15,21 @@ namespace optilog {
 using Bytes = std::vector<uint8_t>;
 
 // Appends fixed-width little-endian integers and length-prefixed blobs.
+//
+// A null `out` puts the writer in counting mode: nothing is stored, but
+// size() still advances byte-for-byte. Message::WireSize() runs the same
+// EncodeTo over a counting writer, so declared and serialized sizes cannot
+// diverge.
 class ByteWriter {
  public:
   explicit ByteWriter(Bytes* out) : out_(out) {}
 
-  void U8(uint8_t v) { out_->push_back(v); }
+  void U8(uint8_t v) {
+    if (out_ != nullptr) {
+      out_->push_back(v);
+    }
+    ++counted_;
+  }
 
   void U16(uint16_t v) { AppendLe(v); }
   void U32(uint32_t v) { AppendLe(v); }
@@ -32,26 +42,51 @@ class ByteWriter {
     U64(bits);
   }
 
+  // Raw bytes without a length prefix (fixed-width fields: digests,
+  // signature bytes).
+  void Raw(const uint8_t* data, size_t len) {
+    if (out_ != nullptr) {
+      out_->insert(out_->end(), data, data + len);
+    }
+    counted_ += len;
+  }
+
+  // `len` zero bytes: synthetic payload whose length the decoder derives
+  // from header fields (e.g. batch_size * cmd_bytes). O(1) in counting
+  // mode, which keeps WireSize() cheap for large modeled payloads.
+  void ZeroPad(size_t len) {
+    if (out_ != nullptr) {
+      out_->insert(out_->end(), len, 0);
+    }
+    counted_ += len;
+  }
+
   void Blob(const uint8_t* data, size_t len) {
     U32(static_cast<uint32_t>(len));
-    out_->insert(out_->end(), data, data + len);
+    Raw(data, len);
   }
   void Blob(const Bytes& data) { Blob(data.data(), data.size()); }
   void Str(const std::string& s) {
     Blob(reinterpret_cast<const uint8_t*>(s.data()), s.size());
   }
 
-  size_t size() const { return out_->size(); }
+  // Bytes written through this writer (== out->size() for a writer that
+  // started on an empty buffer; counting-mode writers only have this).
+  size_t size() const { return counted_; }
 
  private:
   template <typename T>
   void AppendLe(T v) {
-    for (size_t i = 0; i < sizeof(T); ++i) {
-      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    if (out_ != nullptr) {
+      for (size_t i = 0; i < sizeof(T); ++i) {
+        out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+      }
     }
+    counted_ += sizeof(T);
   }
 
   Bytes* out_;
+  size_t counted_ = 0;
 };
 
 // Reads back what ByteWriter wrote. Truncated input does not abort: reads
@@ -82,6 +117,30 @@ class ByteReader {
     double v;
     std::memcpy(&v, &bits, sizeof(v));
     return v;
+  }
+
+  // Fixed-width field without a length prefix (digests, signature bytes).
+  // On truncation clears ok() and leaves `dst` zero-filled.
+  void Raw(uint8_t* dst, size_t len) {
+    if (pos_ + len > in_.size()) {
+      ok_ = false;
+      pos_ = in_.size();
+      std::memset(dst, 0, len);
+      return;
+    }
+    std::memcpy(dst, in_.data() + pos_, len);
+    pos_ += len;
+  }
+
+  // Discards `len` bytes (synthetic zero payloads whose length the header
+  // determines). Clears ok() on truncation.
+  void Skip(size_t len) {
+    if (len > in_.size() - pos_) {
+      ok_ = false;
+      pos_ = in_.size();
+      return;
+    }
+    pos_ += len;
   }
 
   Bytes Blob() {

@@ -1,0 +1,41 @@
+// Frame-level codec over the canonical message encodings.
+//
+// A frame is [family u8][type u8][body]: the (family, type) pair keys the
+// decode registry, so protocol-scoped type tags only need to be unique
+// within their family (the statemachine and shard layers both use 40/41).
+// Flags the protocols fold into type() — forwarded proposals, Write vs
+// Accept, probe replies — ride the frame header, never the body, which is
+// what keeps every body layout byte-compatible with the sizes the old
+// declared-WireSize() arithmetic modeled.
+//
+// DecodeMessage returns nullptr on any malformed input: unknown (family,
+// type), truncated body (ByteReader::ok() cleared), or trailing bytes the
+// decoder did not consume. Decoders never read past the input and never
+// abort — Byzantine senders can hand receivers arbitrary byte strings.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/sim/message.h"
+#include "src/util/bytes.h"
+
+namespace optilog {
+
+// [family u8][type u8][canonical body] — asserts type() fits one byte.
+Bytes EncodeMessage(const Message& m);
+
+// Dispatches the body at `r` (frame header already consumed, passed
+// out-of-band). Returns nullptr on unknown (family, type) or when the
+// decoder left the reader !ok(); the caller owns the trailing-bytes check
+// when `r` frames more than one message.
+MessagePtr DecodeMessage(MsgFamily family, int type, ByteReader& r);
+
+// Whole-frame convenience: header + body + exact-consumption check.
+MessagePtr DecodeMessage(const Bytes& frame);
+
+// Every (family, type) pair DecodeMessage dispatches — the round-trip test
+// asserts its sample coverage against this list.
+std::vector<std::pair<MsgFamily, int>> RegisteredMessageTypes();
+
+}  // namespace optilog

@@ -6,7 +6,9 @@
 // per request at the commit boundary; the client counts replies until its
 // quorum (f + 1 for the PBFT family, the root's single commit-stamped reply
 // for the tree family) and measures end-to-end latency from the original
-// send. Sizes model signed request/reply headers (BFT-SMaRt style).
+// send. Sizes model signed request/reply headers (BFT-SMaRt style); the
+// 64-byte signature fields are modeled placeholders (clients hold no
+// KeyStore) whose CPU cost the CryptoCostModel charges.
 #pragma once
 
 #include "src/crypto/signature.h"
@@ -35,6 +37,12 @@ struct RequestRef {
   uint32_t shard = 0;
 };
 
+// Body: client u32 | request_id u64 | sent_at i64 | shard u32 | payload
+// length u32 + zero filler | op blob | signature placeholder 64.
+//
+// Intentional delta vs the old declared size (24 + payload + op + 64): +8
+// for the two length prefixes (payload filler and op) the old arithmetic
+// didn't count.
 struct ClientRequestMsg : Message {
   ReplicaId client = kNoReplica;
   uint64_t request_id = 0;
@@ -44,20 +52,56 @@ struct ClientRequestMsg : Message {
   uint32_t shard = 0;  // target shard (sharded deployments; else 0)
 
   int type() const override { return kMsgClientRequest; }
-  size_t WireSize() const override {
-    return 24 + payload_bytes + op.size() + kSignatureSize;
+  MsgFamily family() const override { return MsgFamily::kWorkload; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U32(client);
+    w.U64(request_id);
+    w.I64(sent_at);
+    w.U32(shard);
+    w.U32(static_cast<uint32_t>(payload_bytes));
+    w.ZeroPad(payload_bytes);
+    w.Blob(op);
+    w.ZeroPad(kSignatureSize);
+  }
+  static IntrusivePtr<ClientRequestMsg> Decode(int /*type*/, ByteReader& r) {
+    auto m = MakeMessage<ClientRequestMsg>();
+    m->client = r.U32();
+    m->request_id = r.U64();
+    m->sent_at = r.I64();
+    m->shard = r.U32();
+    m->payload_bytes = r.U32();
+    r.Skip(m->payload_bytes);
+    m->op = r.Blob();
+    r.Skip(kSignatureSize);
+    return m;
   }
   std::string Name() const override { return "Request"; }
 };
 
+// Body: request_id u64 | seq u64 | result blob | signature placeholder 64.
+//
+// Intentional delta vs the old declared size (16 + result + 64): +4 for the
+// result length prefix.
 struct ClientReplyMsg : Message {
   uint64_t request_id = 0;
   uint64_t seq = 0;   // committed block / instance
   Bytes result;       // encoded state-machine result (may be empty)
 
   int type() const override { return kMsgClientReply; }
-  size_t WireSize() const override {
-    return 16 + result.size() + kSignatureSize;
+  MsgFamily family() const override { return MsgFamily::kWorkload; }
+  void EncodeTo(ByteWriter& w) const override {
+    w.U64(request_id);
+    w.U64(seq);
+    w.Blob(result);
+    w.ZeroPad(kSignatureSize);
+  }
+  static IntrusivePtr<ClientReplyMsg> Decode(int /*type*/, ByteReader& r) {
+    auto m = MakeMessage<ClientReplyMsg>();
+    m->request_id = r.U64();
+    m->seq = r.U64();
+    m->result = r.Blob();
+    r.Skip(kSignatureSize);
+    return m;
   }
   std::string Name() const override { return "Reply"; }
 };

@@ -17,7 +17,8 @@ namespace {
 
 struct NullMsg : Message {
   int type() const override { return 0; }
-  size_t WireSize() const override { return 16; }
+  MsgFamily family() const override { return MsgFamily::kWorkload; }
+  void EncodeTo(ByteWriter& w) const override { w.ZeroPad(16); }
   std::string Name() const override { return "Null"; }
 };
 

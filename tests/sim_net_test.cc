@@ -191,7 +191,8 @@ struct TestMsg : Message {
   size_t bytes = 100;
   int kind = 1;
   int type() const override { return kind; }
-  size_t WireSize() const override { return bytes; }
+  MsgFamily family() const override { return MsgFamily::kWorkload; }
+  void EncodeTo(ByteWriter& w) const override { w.ZeroPad(bytes); }
   std::string Name() const override { return "Test"; }
 };
 

@@ -177,7 +177,8 @@ struct RecordingActor : Actor {
 
 struct PingMsg : Message {
   int type() const override { return 99; }
-  size_t WireSize() const override { return 8; }
+  MsgFamily family() const override { return MsgFamily::kState; }
+  void EncodeTo(ByteWriter& w) const override { w.ZeroPad(8); }
   std::string Name() const override { return "Ping"; }
 };
 
