@@ -1,0 +1,155 @@
+// Parallel intra-deployment execution sweep: the same sharded transaction
+// deployment at shards {1,2,4,8}, each point run under BOTH drivers of the
+// partition executor — sim_threads 1 (merged sequential) and 4 (windowed
+// conservative-lookahead PDES, src/shard/parallel_exec.h). The grid bakes
+// the determinism contract into the baseline: for every shard count the two
+// drivers' point fingerprints must be byte-identical (OL_CHECKed in
+// finalize, so a divergence fails the bench run itself, not just a baseline
+// diff). The parallel speedup is advisory by construction — it lives in the
+// per-point wall_ms and the "parallel" block of the full JSON, never in the
+// digested body.
+#include <map>
+
+#include "bench/scenarios/common.h"
+#include "src/api/deployment.h"
+#include "src/shard/sharded_deployment.h"
+#include "src/util/check.h"
+
+namespace optilog {
+namespace {
+
+constexpr SimTime kRunTime = 12 * kSec;
+constexpr size_t kMeasureFrom = 2;  // skip the warm-up seconds
+constexpr size_t kMeasureTo = 12;
+
+PointResult RunPoint(const Params& p) {
+  const uint32_t shards = static_cast<uint32_t>(p.GetInt("shards"));
+  const unsigned sim_threads = static_cast<unsigned>(p.GetInt("sim_threads"));
+
+  WorkloadOptions w;
+  w.arrival = ArrivalProcess::kClosedLoop;
+  w.outstanding = 1;
+  w.batch.max_batch = 32;
+  w.batch.max_delay = 10 * kMsec;
+
+  StateMachineOptions sm;
+  sm.checkpoint.interval = 64;
+  sm.checkpoint.truncate = true;
+
+  TxnWorkloadOptions txn;
+  txn.clients_per_shard = 6;
+  txn.keys_per_txn = 2;
+  txn.keys_per_client_shard = 8;
+  txn.hot_pct = 10;
+  txn.hot_keys = 8;
+  txn.think_time = 5 * kMsec;
+
+  auto deployment = Deployment::Builder()
+                        .WithGeo(Europe21())
+                        .WithReplicas(7, 2)
+                        .WithProtocol(Protocol::kHotStuff)
+                        .WithSeed(11)
+                        .WithWorkload(w)
+                        .WithStateMachine(sm)
+                        .WithShards(shards)
+                        .WithCrossShardRatio(0.1)
+                        .WithTxnWorkload(txn)
+                        .WithSimThreads(sim_threads)
+                        .BuildSharded();
+  deployment->Start();
+  deployment->RunUntil(kRunTime);
+
+  const MetricsReport m = deployment->Metrics();
+  const TxnReport& t = m.txn;
+  const double txn_per_s =
+      MeanOpsPerSec(t.committed_per_sec, kMeasureFrom, kMeasureTo);
+
+  // Shape checks the grid relies on: multi-shard points are partitioned
+  // (shards + 1 client partition), and requesting threads actually engages
+  // the windowed driver there.
+  if (shards > 1) {
+    OL_CHECK(deployment->partitions() == shards + 1);
+    OL_CHECK(deployment->executor() != nullptr);
+    OL_CHECK(deployment->executor()->parallel() == (sim_threads > 1));
+  } else {
+    OL_CHECK(deployment->executor() == nullptr);
+  }
+  OL_CHECK(t.kv_mismatches == 0);
+
+  PointResult pr;
+  pr.rows.push_back({p.Get("shards"), p.Get("sim_threads"),
+                     Fixed(txn_per_s, 1), std::to_string(t.committed),
+                     std::to_string(t.committed_cross),
+                     std::to_string(m.event_core.events_executed),
+                     std::to_string(m.statemachine.digests_equal),
+                     std::to_string(t.kv_mismatches)});
+  pr.metrics = {
+      {"txn_per_s", txn_per_s},
+      {"txn_committed", static_cast<double>(t.committed)},
+      {"txn_committed_cross", static_cast<double>(t.committed_cross)},
+      {"events", static_cast<double>(m.event_core.events_executed)},
+      {"digests_equal", static_cast<double>(m.statemachine.digests_equal)},
+      {"kv_mismatches", static_cast<double>(t.kv_mismatches)},
+  };
+  FillOutcome(pr, m);
+  return pr;
+}
+
+// Per shard count: pin fingerprint equality across the two drivers (the
+// acceptance gate for the PDES tentpole), and report advisory wall speedup.
+SummaryTable Finalize(const std::vector<PointResult>& results) {
+  // Point order mirrors registration: shards-major, sim_threads-minor.
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+  SummaryTable t;
+  t.columns = {"shards", "digest_parity", "committed"};
+  for (size_t i = 0; i < shard_counts.size(); ++i) {
+    const PointResult& seq = results[2 * i];
+    const PointResult& par = results[2 * i + 1];
+    // Byte-identical partitioned total order at any thread count — a
+    // divergence is a correctness bug, not a tolerance question.
+    OL_CHECK(seq.digest == par.digest);
+    uint64_t committed = 0;
+    for (const auto& [k, v] : seq.metrics) {
+      if (k == "txn_committed") {
+        committed = static_cast<uint64_t>(v);
+      }
+    }
+    t.rows.push_back({std::to_string(shard_counts[i]), "ok",
+                      std::to_string(committed)});
+    // Wall-clock speedup is advisory (per-point wall_ms in the full JSON);
+    // report it on stdout where nothing digests it.
+    std::printf("scale_shards: shards=%d seq %.0f ms, par %.0f ms, "
+                "speedup %.2fx (advisory)\n",
+                shard_counts[i], seq.wall_ms, par.wall_ms,
+                par.wall_ms > 0.0 ? seq.wall_ms / par.wall_ms : 0.0);
+  }
+  return t;
+}
+
+Scenario Make() {
+  Scenario s;
+  s.name = "scale_shards";
+  s.description =
+      "partitioned-event-core sweep: shards {1,2,4,8} x sim_threads {1,4} "
+      "over a cross-shard txn workload; pins byte-identical fingerprints "
+      "between the merged and windowed PDES drivers, reports advisory "
+      "parallel speedup";
+  s.tags = {"shard", "parallel", "sweep", "tier1"};
+  s.columns = {"shards", "sim_threads", "txn_per_s", "committed", "cross",
+               "events", "digests_eq", "kv_miss"};
+  for (const char* n : {"1", "2", "4", "8"}) {
+    for (const char* st : {"1", "4"}) {
+      Params p;
+      p.Set("shards", n).Set("sim_threads", st);
+      s.points.push_back(p);
+    }
+  }
+  s.run = RunPoint;
+  s.finalize = Finalize;
+  return s;
+}
+
+const ScenarioRegistrar reg(Make());
+
+}  // namespace
+}  // namespace optilog

@@ -1,6 +1,7 @@
 // Shard scaling (ISSUE 6): the sharded deployment's headline sweep. A
 // partitioned KV store of {1,2,4,8} consensus groups (HotStuff n=7 each,
-// Europe21 cities, shared simulator) serves a closed-loop transaction fleet
+// Europe21 cities, one simulator partition per group at 2+ shards) serves
+// a closed-loop transaction fleet
 // whose cross-shard ratio sweeps {0%,10%,50%}. At 0% every transaction takes
 // the single-shard fast path — one kMulti record through one group's log —
 // and aggregate committed-transaction throughput should scale near-linearly
@@ -13,6 +14,7 @@
 #include "bench/scenarios/common.h"
 #include "src/api/deployment.h"
 #include "src/shard/sharded_deployment.h"
+#include "src/util/check.h"
 
 namespace optilog {
 namespace {
@@ -55,7 +57,16 @@ PointResult RunPoint(const Params& p) {
                         .WithTxnWorkload(txn)
                         .BuildSharded();
   deployment->Start();
+  deployment->RunUntil(kRunTime / 4);
+  const size_t warm_slab = deployment->SlabCapacity();
   deployment->RunUntil(kRunTime);
+  if (shards >= 4) {
+    // Every partition's ReserveHint was sized from its own shard's topology
+    // (4 * (n + clients) + 64 slots); at scale the warm-up quarter must have
+    // touched everything the steady state needs — zero slab growth after it,
+    // summed across partitions.
+    OL_CHECK(deployment->SlabCapacity() == warm_slab);
+  }
 
   const MetricsReport m = deployment->Metrics();
   const TxnReport& t = m.txn;
@@ -117,7 +128,7 @@ Scenario Make() {
   Scenario s;
   s.name = "shard_scaling";
   s.description =
-      "partitioned KV over {1,2,4,8} HotStuff groups (shared simulator) x "
+      "partitioned KV over {1,2,4,8} HotStuff groups x "
       "cross-shard 2PC ratio {0,10,50}%: committed-txn throughput scaling, "
       "abort rate, cross-shard latency percentiles, oracle + digest checks";
   s.tags = {"shard", "sweep", "tier1"};

@@ -7,6 +7,13 @@
 
 namespace optilog {
 
+namespace {
+unsigned g_sim_threads = 0;
+}  // namespace
+
+void SetGlobalSimThreads(unsigned threads) { g_sim_threads = threads; }
+unsigned GlobalSimThreads() { return g_sim_threads; }
+
 // --- Deployment --------------------------------------------------------------
 
 ConsensusEngine& Deployment::engine() {

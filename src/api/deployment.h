@@ -256,6 +256,14 @@ class Deployment::Builder {
   // Transaction fleet configuration; clients_per_shard > 0 swaps the
   // per-shard ClientFleets for one multi-shard transaction fleet.
   Builder& WithTxnWorkload(TxnWorkloadOptions opts);
+  // Worker threads for intra-deployment parallel execution across shard
+  // partitions (src/shard/parallel_exec.h). 0 = use the process-wide value
+  // (SetGlobalSimThreads, the --sim-threads flag); <= 1 = the merged
+  // sequential driver. Results are byte-identical at every value.
+  Builder& WithSimThreads(unsigned threads) {
+    sim_threads_ = threads;
+    return *this;
+  }
 
   // A value copy of the builder's configuration so far. Sweeps stamp out
   // per-point deployments from one base recipe:
@@ -305,6 +313,12 @@ class Deployment::Builder {
   uint32_t shards_ = 1;
   double cross_shard_ratio_ = 0.0;
   TxnWorkloadOptions txn_workload_;
+  unsigned sim_threads_ = 0;  // 0 = defer to the process-wide setting
 };
+
+// Process-wide default for Builder::WithSimThreads (what the runner's
+// --sim-threads flag sets). 0/1 = merged sequential driver.
+void SetGlobalSimThreads(unsigned threads);
+unsigned GlobalSimThreads();
 
 }  // namespace optilog

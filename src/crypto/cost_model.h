@@ -26,6 +26,7 @@
 //     crypto_bench scenario reports these as advisory metrics).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -73,6 +74,19 @@ class CpuMeter {
   explicit CpuMeter(const CryptoCostModel& model) : model_(model) {}
 
   const CryptoCostModel& model() const { return model_; }
+
+  // Pre-sizes the per-replica tables to cover ids [0, count). Partitioned
+  // deployments call this at build time: ReadyAt() is then a pure read for
+  // every registered id, so a coordinator/client partition can compute its
+  // send base concurrently with the home partition charging its replicas
+  // (element-disjoint by the charge inventory — only a net's own replicas
+  // ever sign or hash on it).
+  void Reserve(size_t count) {
+    if (busy_until_ns_.size() < count) {
+      busy_until_ns_.resize(count, 0);
+      busy_ns_.resize(count, 0);
+    }
+  }
 
   void ChargeSign(ReplicaId id, SimTime now, uint64_t count = 1) {
     Charge(id, now, model_.sign_ns * static_cast<double>(count));

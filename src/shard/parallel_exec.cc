@@ -1,0 +1,313 @@
+#include "src/shard/parallel_exec.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/wire/codec.h"
+
+namespace optilog {
+
+namespace {
+
+// Spin budget before a barrier waiter parks on the futex (~a few µs of
+// pause instructions): long enough that a healthy multi-core gang never
+// sleeps, short enough that an oversubscribed host degrades to futex
+// round-trips instead of spinning away its timeslices.
+constexpr unsigned kBarrierSpins = 4096;
+
+inline void SpinPause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+PartitionExecutor::PartitionExecutor(std::vector<Simulator*> sims,
+                                     SimTime lookahead, unsigned threads)
+    : sims_(std::move(sims)),
+      lookahead_(lookahead),
+      windowed_(threads > 1 && sims_.size() > 1 &&
+                lookahead >= kMinProfitableLookaheadUs),
+      lanes_(sims_.size() * sims_.size()),
+      inboxes_(sims_.size()) {
+  OL_CHECK(!sims_.empty());
+  for (size_t p = 0; p < sims_.size(); ++p) {
+    OL_CHECK(sims_[p] != nullptr);
+    OL_CHECK(sims_[p]->partition() == p);
+  }
+  if (windowed_) {
+    const unsigned width = threads < sims_.size()
+                               ? threads
+                               : static_cast<unsigned>(sims_.size());
+    gang_.reserve(width - 1);
+    for (unsigned w = 1; w < width; ++w) {
+      gang_.emplace_back([this] { GangWorkerLoop(); });
+    }
+  }
+}
+
+PartitionExecutor::~PartitionExecutor() {
+  stop_.store(true, std::memory_order_release);
+  // Workers check stop_ right after observing an epoch bump, so one extra
+  // bump releases every parked or spinning waiter into the check.
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  for (std::thread& t : gang_) {
+    t.join();
+  }
+}
+
+void PartitionExecutor::GangClaim(uint64_t serial) {
+  const uint32_t count = static_cast<uint32_t>(sims_.size());
+  const uint64_t tag = serial << 32;
+  uint64_t word = claim_.load(std::memory_order_relaxed);
+  while (true) {
+    // A claimer from an older window (or one racing ahead of the caller's
+    // re-arm) sees a serial mismatch and stops — it can never claim a
+    // partition that belongs to a window it has not synchronized with.
+    if ((word & ~uint64_t{0xffffffff}) != tag) {
+      return;
+    }
+    const uint32_t p = static_cast<uint32_t>(word & 0xffffffff);
+    if (p >= count) {
+      return;
+    }
+    if (!claim_.compare_exchange_weak(word, word + 1,
+                                      std::memory_order_relaxed)) {
+      continue;  // word was reloaded by the failed CAS
+    }
+    {
+      ScopedMessagePartition ctx(sims_[p]);
+      DrainInbox(p);
+      if (job_ == GangJob::kWindowBefore) {
+        sims_[p]->RunWindowBefore(job_end_);
+      } else {
+        sims_[p]->RunUntil(job_end_);
+      }
+    }
+    if (done_parts_.fetch_add(1, std::memory_order_release) + 1 == count) {
+      done_parts_.notify_all();
+    }
+    word = claim_.load(std::memory_order_relaxed);
+  }
+}
+
+void PartitionExecutor::GangWorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    uint64_t e;
+    unsigned spins = 0;
+    while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
+      // Hybrid wait: spin briefly (the release on a multi-core gang is
+      // sub-microsecond away), then park on the futex — on an oversubscribed
+      // or single-core host a spinning helper would eat the very timeslice
+      // the claiming caller needs.
+      if (++spins < kBarrierSpins) {
+        SpinPause();
+      } else {
+        epoch_.wait(seen, std::memory_order_acquire);
+      }
+    }
+    seen = e;
+    if (stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    GangClaim(seen);
+  }
+}
+
+void PartitionExecutor::GangRun(GangJob job, SimTime end) {
+  // {job_, job_end_, claim_} are published by the release bump of epoch_
+  // and read only after an acquire load observes it; a claimer's partition
+  // writes are published by its release bump of done_parts_ and read only
+  // after the caller's acquire loop below counts every partition. Helper-
+  // to-helper ordering across windows composes from those two edges
+  // through the caller. The caller claims alongside the helpers, so a
+  // window never waits on a descheduled helper — on a single-core host the
+  // caller simply executes every partition itself.
+  job_ = job;
+  job_end_ = end;
+  done_parts_.store(0, std::memory_order_relaxed);
+  const uint64_t serial = epoch_.load(std::memory_order_relaxed) + 1;
+  claim_.store(serial << 32, std::memory_order_relaxed);
+  epoch_.store(serial, std::memory_order_release);
+  epoch_.notify_all();
+  GangClaim(serial);
+  const uint64_t count = sims_.size();
+  uint64_t d;
+  unsigned spins = 0;
+  while ((d = done_parts_.load(std::memory_order_acquire)) != count) {
+    if (++spins < kBarrierSpins) {
+      SpinPause();
+    } else {
+      done_parts_.wait(d, std::memory_order_acquire);
+    }
+  }
+}
+
+void PartitionExecutor::Push(uint32_t src_partition, uint32_t dst_partition,
+                             CrossRecord rec) {
+  OL_CHECK(src_partition < sims_.size());
+  OL_CHECK(dst_partition < sims_.size());
+  Lane(src_partition, dst_partition).push_back(std::move(rec));
+}
+
+void PartitionExecutor::InsertRecord(uint32_t dst, CrossRecord& rec) {
+  // A fresh, pool-less decode on the destination's behalf: the sender's
+  // message object (and its pool) never crosses the partition boundary.
+  MessagePtr msg = DecodeMessage(rec.frame);
+  OL_CHECK_MSG(msg != nullptr, "cross-partition frame failed to decode");
+  sims_[dst]->InsertForeign(rec.key, std::move(msg));
+}
+
+void PartitionExecutor::DrainAllLanesEager() {
+  for (uint32_t src = 0; src < sims_.size(); ++src) {
+    for (uint32_t dst = 0; dst < sims_.size(); ++dst) {
+      std::vector<CrossRecord>& lane = Lane(src, dst);
+      if (lane.empty()) {
+        continue;
+      }
+      ScopedMessagePartition ctx(sims_[dst]);
+      for (CrossRecord& rec : lane) {
+        InsertRecord(dst, rec);
+      }
+      lane.clear();
+    }
+  }
+}
+
+void PartitionExecutor::SwapLanesToInboxes() {
+  for (uint32_t dst = 0; dst < sims_.size(); ++dst) {
+    for (uint32_t src = 0; src < sims_.size(); ++src) {
+      std::vector<CrossRecord>& lane = Lane(src, dst);
+      for (CrossRecord& rec : lane) {
+        inboxes_[dst].push_back(std::move(rec));
+      }
+      lane.clear();
+    }
+  }
+}
+
+void PartitionExecutor::DrainInbox(uint32_t p) {
+  for (CrossRecord& rec : inboxes_[p]) {
+    InsertRecord(p, rec);
+  }
+  inboxes_[p].clear();
+}
+
+bool PartitionExecutor::MinPendingFire(SimTime* m) const {
+  bool have = false;
+  SimTime best = 0;
+  for (Simulator* sim : sims_) {
+    SimTime at;
+    if (sim->PeekEarliest(&at) && (!have || at < best)) {
+      have = true;
+      best = at;
+    }
+  }
+  for (const std::vector<CrossRecord>& inbox : inboxes_) {
+    for (const CrossRecord& rec : inbox) {
+      if (!have || rec.key.at < best) {
+        have = true;
+        best = rec.key.at;
+      }
+    }
+  }
+  *m = best;
+  return have;
+}
+
+bool PartitionExecutor::AnyLaneRecordAtOrBefore(SimTime t) const {
+  for (const std::vector<CrossRecord>& lane : lanes_) {
+    for (const CrossRecord& rec : lane) {
+      if (rec.key.at <= t) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void PartitionExecutor::RunUntil(SimTime t) {
+  const auto start = std::chrono::steady_clock::now();
+  if (windowed_) {
+    RunWindowedUntil(t);
+  } else {
+    RunMergedUntil(t);
+  }
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+void PartitionExecutor::RunMergedUntil(SimTime t) {
+  // Global argmin over full ordering keys — the partitioned total order,
+  // one event at a time. Ties cannot occur: (src, seq) is unique.
+  DrainAllLanesEager();
+  while (true) {
+    int best = -1;
+    Simulator::NextKey best_key;
+    for (size_t p = 0; p < sims_.size(); ++p) {
+      Simulator::NextKey key;
+      if (sims_[p]->PeekNextKey(&key) &&
+          (best < 0 || key.Before(best_key))) {
+        best = static_cast<int>(p);
+        best_key = key;
+      }
+    }
+    if (best < 0 || best_key.at > t) {
+      break;
+    }
+    {
+      ScopedMessagePartition ctx(sims_[best]);
+      sims_[best]->ExecuteEarliest();
+    }
+    // Records the handler just produced join the argmin immediately,
+    // whatever their fire time — so pending() and the typed counters match
+    // the windowed driver at every snapshot.
+    DrainAllLanesEager();
+  }
+  for (Simulator* sim : sims_) {
+    // Nothing <= t is pending; this only advances the clocks to t.
+    ScopedMessagePartition ctx(sim);
+    sim->RunUntil(t);
+  }
+}
+
+void PartitionExecutor::RunWindowedUntil(SimTime t) {
+  while (true) {
+    // --- barrier: single-threaded ------------------------------------
+    ++barrier_count_;
+    SwapLanesToInboxes();
+    SimTime m = 0;
+    const bool have_m = MinPendingFire(&m);
+    // Written as lookahead_ >= t - m rather than m + lookahead_ >= t so the
+    // unbounded-lookahead sentinel cannot overflow.
+    if (!have_m || lookahead_ >= t - m) {
+      // Final inclusive phase: everything left at or before t fits in one
+      // window. Records created inside it have sched >= m and so fire at
+      // >= m + L >= t; the boundary case fire == t loops one more round.
+      GangRun(GangJob::kRunUntil, t);
+      if (AnyLaneRecordAtOrBefore(t)) {
+        continue;
+      }
+      // Leftover records fire strictly after t; insert them before
+      // returning so queue state matches the merged driver's snapshots.
+      SwapLanesToInboxes();
+      for (uint32_t p = 0; p < sims_.size(); ++p) {
+        ScopedMessagePartition ctx(sims_[p]);
+        DrainInbox(p);
+      }
+      return;
+    }
+    // --- window body: [m, m + L), concurrent ----------------------------
+    const SimTime end = m + lookahead_;  // lookahead_ < t - m: no overflow
+    GangRun(GangJob::kWindowBefore, end);
+  }
+}
+
+}  // namespace optilog

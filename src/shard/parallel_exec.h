@@ -1,0 +1,160 @@
+// Conservative-lookahead parallel discrete-event execution across shard
+// partitions (the PDES tentpole).
+//
+// A sharded deployment with P partitions owns P Simulators: one per shard
+// group plus, in transaction mode, one for the 2PC coordinators + TxnFleet
+// clients. The only cross-partition event edges are coordinator 2PC traffic
+// and client sends — WAN links whose one-way latency is bounded below by
+// the static lookahead L = min over cross-owner id pairs of OneWay(a, b).
+// A handler executing at time s can therefore only create cross work that
+// fires at >= s + L, which is what lets partitions run [T, T + L) windows
+// concurrently without ever receiving a message "from the past".
+//
+// Two drivers produce byte-identical results:
+//
+//  - Merged sequential (sim_threads <= 1, or L below the profitability
+//    floor, or L == 0 because some fault compresses delays): a global
+//    argmin over the partitions' full ordering keys (at, sched, src, seq)
+//    executes one event at a time — the partitioned total order by
+//    construction. Cross records are inserted eagerly.
+//
+//  - Windowed parallel: at a single-threaded barrier, compute the global
+//    minimum pending fire time m, hand each partition the cross records
+//    addressed to it (double-buffered lanes -> inboxes, so no partition
+//    reads a lane another writes), then run every partition concurrently
+//    over [m, m + L). Records created inside the window fire at >= m + L,
+//    i.e. beyond it — conservativeness — so each partition executes exactly
+//    the events the merged driver would, in the same per-partition order.
+//    The gang's epoch-release / done-acquire pair is the only
+//    synchronization: lanes are written solely by their source partition's
+//    thread during a window and read solely at the barrier, giving
+//    lock-free, ThreadSanitizer-clean happens-before edges.
+//
+// Both drivers fully insert every created cross record (even ones firing
+// past the run horizon) before RunUntil returns, so pending() and the
+// typed-delivery counters agree with the merged driver at every Metrics()
+// snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace optilog {
+
+class PartitionExecutor final : public CrossExchange {
+ public:
+  // Lookahead value meaning "no cross-partition edges exist": every window
+  // collapses to one full-horizon phase (perfect parallelism).
+  static constexpr SimTime kUnboundedLookahead =
+      std::numeric_limits<SimTime>::max();
+
+  // Windows narrower than this cost more in barriers than they buy in
+  // parallelism; below it the merged sequential driver runs even when
+  // threads were requested.
+  static constexpr SimTime kMinProfitableLookaheadUs = 100;
+
+  // `sims` are the partition schedulers, indexed by partition id; they must
+  // already be tagged via SetPartition. `lookahead` is the static minimum
+  // cross-partition one-way delay (kUnboundedLookahead when no cross edges,
+  // 0 when a fault model can compress delays below the static minimum).
+  PartitionExecutor(std::vector<Simulator*> sims, SimTime lookahead,
+                    unsigned threads);
+  ~PartitionExecutor();
+
+  // CrossExchange: called by a partitioned Network from the source
+  // partition's thread. Lock-free — lane (src, dst) is written only by
+  // src's thread inside a window and read only at the barrier.
+  void Push(uint32_t src_partition, uint32_t dst_partition,
+            CrossRecord rec) override;
+
+  // Advances every partition to global time t, executing all events with
+  // fire time <= t in the partitioned total order.
+  void RunUntil(SimTime t);
+
+  bool parallel() const { return windowed_; }
+  SimTime lookahead() const { return lookahead_; }
+  uint64_t barrier_count() const { return barrier_count_; }
+  double wall_seconds() const { return wall_seconds_; }
+  size_t partitions() const { return sims_.size(); }
+
+ private:
+  std::vector<CrossRecord>& Lane(uint32_t src, uint32_t dst) {
+    return lanes_[src * sims_.size() + dst];
+  }
+
+  void RunMergedUntil(SimTime t);
+  void RunWindowedUntil(SimTime t);
+
+  // Decodes one record on the destination's behalf and inserts it into the
+  // destination's queue. Caller establishes the owner-latch context.
+  void InsertRecord(uint32_t dst, CrossRecord& rec);
+
+  // Merged driver: move every lane record into its destination immediately
+  // (they join the global argmin).
+  void DrainAllLanesEager();
+
+  // Barrier step: move every lane into its destination inbox,
+  // source-ascending so inbox order is deterministic.
+  void SwapLanesToInboxes();
+
+  // Window body, runs on partition p's thread.
+  void DrainInbox(uint32_t p);
+
+  // Smallest pending fire time across partition queues and undelivered
+  // inbox records; false when everything is drained.
+  bool MinPendingFire(SimTime* m) const;
+
+  bool AnyLaneRecordAtOrBefore(SimTime t) const;
+
+  // --- worker gang (windowed driver only) ------------------------------
+  // A window is tiny — with WAN lookahead in the hundreds of microseconds a
+  // 12-second run crosses tens of thousands of barriers — so per-window
+  // task dispatch through a mutex/condvar pool costs more than the window's
+  // work. Instead the executor keeps a persistent gang of helper threads
+  // and releases each window through an epoch counter: the caller publishes
+  // {job_, job_end_}, arms the claim word, bumps epoch_ (release), and then
+  // CLAIMS AND EXECUTES partitions itself alongside the helpers — partitions
+  // are handed out one at a time through a CAS on claim_ (window serial in
+  // the high 32 bits guards stale claimers, next unclaimed partition in the
+  // low 32). The caller finishing the whole window alone is the designed
+  // degenerate case: on an oversubscribed or single-core host the helpers
+  // never win a claim and the window costs zero context switches, while on
+  // a multi-core host the claim loop doubles as dynamic load balancing.
+  // Synchronization is two release/acquire edges per window (epoch_ out,
+  // done_parts_ back); waiters spin briefly, then park on the futex.
+  enum class GangJob : uint8_t {
+    kWindowBefore,  // DrainInbox + RunWindowBefore(job_end_)
+    kRunUntil,      // DrainInbox + RunUntil(job_end_)  (final phase)
+  };
+  void GangRun(GangJob job, SimTime end);
+  // Claim-execute loop for window `serial`; returns when the window has no
+  // unclaimed partition left (or was never this serial's to claim).
+  void GangClaim(uint64_t serial);
+  void GangWorkerLoop();
+
+  std::vector<Simulator*> sims_;
+  SimTime lookahead_;
+  bool windowed_;
+
+  std::vector<std::vector<CrossRecord>> lanes_;    // [src * P + dst]
+  std::vector<std::vector<CrossRecord>> inboxes_;  // [dst]
+
+  std::vector<std::thread> gang_;         // helper threads (width - 1)
+  std::atomic<uint64_t> epoch_{0};        // window serial, release-bumped
+  std::atomic<uint64_t> claim_{0};        // serial << 32 | next partition
+  std::atomic<uint64_t> done_parts_{0};   // partitions finished this window
+  std::atomic<bool> stop_{false};
+  GangJob job_ = GangJob::kWindowBefore;  // published by the epoch_ bump
+  SimTime job_end_ = 0;
+
+  uint64_t barrier_count_ = 0;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace optilog

@@ -12,7 +12,11 @@ namespace optilog {
 
 TxnCoordinator::TxnCoordinator(ShardedDeployment* owner, uint32_t shard,
                                ReplicaId id, ReplicaId anchor)
-    : owner_(owner), shard_(shard), id_(id), anchor_(anchor) {}
+    : owner_(owner),
+      sim_(&owner->ShardSim(shard)),
+      shard_(shard),
+      id_(id),
+      anchor_(anchor) {}
 
 bool TxnCoordinator::IsDown(SimTime at) const {
   // The coordinator shares its anchor replica's fate: down while the anchor
@@ -55,7 +59,7 @@ void TxnCoordinator::OnMessage(ReplicaId from, const MessagePtr& msg,
   if (rec.replies.size() < owner_->RepliesNeeded(rec.shard)) {
     return;
   }
-  owner_->sim().Cancel(rec.retry);
+  sim_->Cancel(rec.retry);
   const uint64_t record_id = it->first;
   const uint64_t txn_id = rec.txn_id;
   const uint32_t shard = rec.shard;
@@ -138,14 +142,14 @@ void TxnCoordinator::SendRecord(uint64_t txn_id, uint32_t shard, Bytes op,
 
 void TxnCoordinator::SendAttempt(uint64_t record_id, SimTime now) {
   Record& rec = records_.at(record_id);
-  auto msg = owner_->sim().pool().Make<ClientRequestMsg>();
+  auto msg = sim_->pool().Make<ClientRequestMsg>();
   msg->client = id_;
   msg->request_id = record_id;
   msg->sent_at = now;
   msg->op = rec.op;
   msg->shard = rec.shard;
   owner_->shard(rec.shard).net().Send(id_, rec.target, std::move(msg));
-  rec.retry = owner_->sim().ScheduleTimer(
+  rec.retry = sim_->ScheduleTimer(
       this, record_id, owner_->txn_options().retry_timeout);
 }
 
@@ -304,7 +308,7 @@ void TxnCoordinator::ReplyToClient(const Txn& txn, bool committed,
   if (txn.client == kNoReplica) {
     return;
   }
-  auto reply = owner_->sim().pool().Make<TxnReplyMsg>();
+  auto reply = sim_->pool().Make<TxnReplyMsg>();
   reply->request_id = txn.client_req;
   reply->committed = committed;
   if (committed && !txn.recovered) {
@@ -338,7 +342,7 @@ void TxnCoordinator::ReplyToClient(const Txn& txn, bool committed,
 void TxnCoordinator::OnAnchorRecovered(SimTime at) {
   // Amnesia: whatever the coordinator was doing died with the anchor.
   for (auto& [record_id, rec] : records_) {
-    owner_->sim().Cancel(rec.retry);
+    sim_->Cancel(rec.retry);
   }
   records_.clear();
   txns_.clear();

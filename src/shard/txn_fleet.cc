@@ -306,13 +306,16 @@ TxnFleet::TxnFleet(ShardedDeployment* owner, ReplicaId base_id,
 }
 
 void TxnFleet::Start() {
-  const SimTime now = owner_->sim().now();
+  const SimTime now = sim().now();
   for (auto& client : clients_) {
     client->Start(now);
   }
 }
 
-Simulator& TxnFleet::sim() { return owner_->sim(); }
+// The client partition's scheduler when the deployment is partitioned (all
+// client timers, pool allocations, and cancels stay partition-local); the
+// shared simulator otherwise.
+Simulator& TxnFleet::sim() { return owner_->ClientSim(); }
 
 uint32_t TxnFleet::owner_shards() const { return owner_->shards(); }
 

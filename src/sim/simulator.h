@@ -31,6 +31,21 @@
 // every protocol message is carved from: the pool must outlive the pending
 // slots holding MessagePtrs, and sharded deployments scheduling many groups
 // on one simulator then share one pool (same confinement thread).
+//
+// Partitioned execution (src/shard/parallel_exec.*): several Simulators can
+// jointly execute one deployment, one partition each. Events are then
+// totally ordered by the widened key (at, sched, src, seq) where `sched` is
+// the schedule instant, `src` the originating partition, and `seq` comes
+// from the ORIGINATING partition's counter (cross-partition records call the
+// source's AllocSeq()). For a lone simulator this collapses to the classic
+// (at, seq) order: src is constant and sched is monotone non-decreasing in
+// seq, so the widened comparison never contradicts the seq tie-break —
+// single-simulator runs keep their pre-partitioning schedules bit-for-bit.
+// Cross-partition deliveries enter through InsertForeign, which carries the
+// source-stamped key (and a source-computed wheel-overflow flag, keeping
+// wheel_overflow_events identical under every driver); the parallel driver
+// executes windows via RunWindowBefore and the merged sequential driver
+// interleaves partitions via PeekNextKey/ExecuteEarliest.
 #pragma once
 
 #include <algorithm>
@@ -127,6 +142,70 @@ class Simulator {
   size_t pending() const { return live_; }
   uint64_t events_executed() const { return stats_.events_executed; }
 
+  // --- partitioned execution support (src/shard/parallel_exec.*) ---------
+
+  // Tags natively scheduled events with this partition id in the ordering
+  // key. Defaults to 0; single-simulator deployments never call it.
+  void SetPartition(uint32_t p) { partition_ = p; }
+  uint32_t partition() const { return partition_; }
+
+  // Reserves a tie-break sequence number from THIS simulator's counter for a
+  // cross-partition record created by one of its handlers. Allocation order
+  // is the handler execution order, which is identical under every driver.
+  uint64_t AllocSeq() { return next_seq_++; }
+
+  // Source-computed wheel-overflow classification for a cross record: true
+  // when the fire time lies beyond the wheel horizon as seen from the
+  // schedule instant. Equivalent to the native Commit() overflow test
+  // (current_tick_ == TickOf(now_) at every Commit), but a pure function of
+  // the record — so the count is driver- and barrier-timing-invariant.
+  static bool WouldOverflow(SimTime fire, SimTime sched) {
+    return TickOf(fire) >= TickOf(sched) + kWheelBuckets;
+  }
+
+  // A cross-partition delivery, key fields stamped by the source partition.
+  struct ForeignDelivery {
+    SimTime at = 0;       // fire time (source clock + full network delay)
+    SimTime sched = 0;    // source commit instant
+    uint32_t src = 0;     // originating partition
+    uint64_t seq = 0;     // from the source simulator's AllocSeq()
+    bool overflow = false;  // WouldOverflow(at, sched), stamped at the source
+    DeliverySink* sink = nullptr;
+    ReplicaId from = kNoReplica;
+    ReplicaId to = kNoReplica;
+  };
+
+  // Inserts a cross-partition delivery into this partition's queue. The
+  // message must be a fresh decode (never pooled by another partition); the
+  // caller guarantees f.at >= now() (the conservative-lookahead contract).
+  void InsertForeign(const ForeignDelivery& f, MessagePtr msg);
+
+  // Fire time of the earliest live event; false when nothing is pending.
+  bool PeekEarliest(SimTime* at);
+
+  // Full ordering key of the earliest live event, for the merged sequential
+  // driver's cross-partition argmin.
+  struct NextKey {
+    SimTime at = 0;
+    SimTime sched = 0;
+    uint32_t src = 0;
+    uint64_t seq = 0;
+    bool Before(const NextKey& o) const {
+      if (at != o.at) return at < o.at;
+      if (sched != o.sched) return sched < o.sched;
+      if (src != o.src) return src < o.src;
+      return seq < o.seq;
+    }
+  };
+  bool PeekNextKey(NextKey* key);
+  // Pops and runs exactly the event PeekNextKey reported.
+  void ExecuteEarliest();
+
+  // Runs all events with fire time strictly before `end` without advancing
+  // the clock past the last executed event — the parallel driver's
+  // conservative window body ([T, T+L) executes, T+L waits for the barrier).
+  void RunWindowBefore(SimTime end);
+
   // Snapshot of the run counters with the pool counters folded in.
   EventCoreStats event_core_stats() const {
     EventCoreStats s = stats_;
@@ -149,7 +228,8 @@ class Simulator {
   // One slab slot. Payload members for the kinds overlap in spirit but stay
   // separate fields: the closure and message are cleared on release, so a
   // recycled slot carries no stale ownership. The wheel threads its bucket
-  // chains through `next` and orders them by the slot's own (at, seq).
+  // chains through `next` and orders them by the slot's own widened key
+  // (at, sched, src, seq) — see the partitioning note at the top.
   struct Slot {
     uint32_t gen = 1;
     Kind kind = Kind::kClosure;
@@ -158,7 +238,9 @@ class Simulator {
     ReplicaId to = kNoReplica;    // delivery
     uint64_t tag = 0;             // timer
     SimTime at = 0;               // fire time (wheel ordering + cancel unlink)
-    uint64_t seq = 0;             // global schedule order (tie-break)
+    SimTime sched = 0;            // schedule instant (tie-break, 2nd field)
+    uint32_t src = 0;             // originating partition (tie-break, 3rd)
+    uint64_t seq = 0;             // source schedule order (tie-break, last)
     uint32_t next = kNil;         // intrusive bucket chain link
     DeliverySink* sink = nullptr;
     TimerTarget* target = nullptr;
@@ -166,18 +248,32 @@ class Simulator {
     std::function<void()> fn;
   };
 
+  // Strict total order over live slots: (at, sched, src, seq), never equal
+  // because (src, seq) pairs are unique within one simulator's queue.
+  bool SlotBefore(const Slot& a, const Slot& b) const {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.sched != b.sched) return a.sched < b.sched;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  }
+
   // Heap/overflow keys are tiny; the payload stays put in the slab. `gen`
   // detects keys whose slot was cancelled (and possibly reused) since the
   // push.
   struct Key {
     SimTime at;
+    SimTime sched;
     uint64_t seq;
+    uint32_t src;
     uint32_t index;
     uint32_t gen;
   };
   struct Later {
     bool operator()(const Key& a, const Key& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+      if (a.at != b.at) return a.at > b.at;
+      if (a.sched != b.sched) return a.sched > b.sched;
+      if (a.src != b.src) return a.src > b.src;
+      return a.seq > b.seq;
     }
   };
 
@@ -225,6 +321,7 @@ class Simulator {
   uint64_t next_seq_ = 1;
   size_t live_ = 0;
   bool use_heap_ = false;
+  uint32_t partition_ = 0;  // ordering-key source id for native events
 
   // Wheel state, allocated lazily on the first schedule (tests that only
   // poke the API shouldn't pay 128 KB per Simulator).

@@ -1,0 +1,169 @@
+// Parallel intra-deployment execution (src/shard/parallel_exec.*): the
+// windowed conservative-lookahead driver must produce byte-identical
+// MetricsFingerprints to the merged sequential driver at every
+// --sim-threads value, over sharded deployments with cross-shard 2PC
+// traffic, a coordinator crash + recovery mid-run, both protocol families,
+// and the 1-shard degenerate case (which must keep the single shared
+// simulator and never build an executor at all).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "src/api/deployment.h"
+#include "src/runner/scenario.h"
+#include "src/shard/parallel_exec.h"
+#include "src/shard/sharded_deployment.h"
+#include "src/statemachine/state_machine.h"
+
+namespace optilog {
+namespace {
+
+Deployment::Builder ParityBuilder(uint64_t seed, Protocol protocol) {
+  WorkloadOptions w;
+  w.arrival = ArrivalProcess::kClosedLoop;
+  w.outstanding = 1;
+  w.think_time = 10 * kMsec;
+  w.batch.max_batch = 32;
+  w.batch.max_delay = 10 * kMsec;
+  StateMachineOptions sm;
+  sm.checkpoint.interval = 64;
+  sm.checkpoint.truncate = true;
+  Deployment::Builder b;
+  b.WithGeo(Europe21())
+      .WithReplicas(7, 2)
+      .WithProtocol(protocol)
+      .WithSeed(seed)
+      .WithWorkload(w)
+      .WithStateMachine(sm);
+  return b;
+}
+
+struct ParityRun {
+  std::string fingerprint;
+  MetricsReport metrics;
+  bool windowed = false;
+  uint32_t partitions = 0;
+};
+
+// One full sharded transaction run at the given thread count: two shards,
+// 50% cross-shard 2PC. With crash_anchor, shard 0's anchor goes down
+// mid-run (taking its coordinator down mid-2PC) and recovers through state
+// transfer — the hardest case for the partitioned order, because recovery
+// re-drives 2PC records across partitions.
+ParityRun RunSharded(Protocol protocol, unsigned sim_threads,
+                     bool crash_anchor) {
+  TxnWorkloadOptions txn;
+  txn.clients_per_shard = crash_anchor ? 6 : 4;
+  txn.keys_per_txn = 2;
+  txn.hot_pct = 20;
+  // Crash runs keep maximum pressure so some 2PC is always in flight when
+  // the anchor dies.
+  txn.think_time = crash_anchor ? 0 : 5 * kMsec;
+  txn.stop_at = crash_anchor ? 10 * kSec : 6 * kSec;
+
+  auto sd = ParityBuilder(29, protocol)
+                .WithShards(2)
+                .WithCrossShardRatio(0.5)
+                .WithTxnWorkload(txn)
+                .WithSimThreads(sim_threads)
+                .BuildSharded();
+  if (crash_anchor) {
+    const ReplicaId anchor = sd->Route(0);
+    sd->shard(0).ScheduleCrash(anchor, 3 * kSec, 6 * kSec);
+  }
+  sd->Start();
+  // Two run segments with a Metrics() call between them: the mid-flight
+  // snapshot pins that both drivers agree at intermediate horizons (pending
+  // queues included), not just after the drain.
+  const SimTime mid_at = txn.stop_at;
+  sd->RunUntil(mid_at);
+  const MetricsReport mid = sd->Metrics();
+  sd->RunUntil(2 * mid_at);
+
+  ParityRun run;
+  run.metrics = sd->Metrics();
+  run.fingerprint =
+      MetricsFingerprint(mid) + "|" + MetricsFingerprint(run.metrics);
+  run.windowed = sd->executor() != nullptr && sd->executor()->parallel();
+  run.partitions = sd->partitions();
+  return run;
+}
+
+void ExpectParityAcrossThreadCounts(Protocol protocol, bool crash_anchor) {
+  const ParityRun ref = RunSharded(protocol, 1, crash_anchor);
+  EXPECT_FALSE(ref.windowed);  // <= 1 thread: merged sequential driver
+  EXPECT_EQ(ref.partitions, 3u);  // 2 shard partitions + client partition
+  EXPECT_GT(ref.metrics.txn.committed, 50u);
+  EXPECT_GT(ref.metrics.txn.committed_cross, 5u);
+  EXPECT_EQ(ref.metrics.txn.kv_mismatches, 0u);
+  if (crash_anchor) {
+    EXPECT_GE(ref.metrics.txn.recovered_commits + ref.metrics.txn.recovered_aborts,
+              1u);
+    EXPECT_EQ(ref.metrics.statemachine.recoveries_completed, 1u);
+  }
+  for (unsigned threads : {2u, 4u}) {
+    const ParityRun run = RunSharded(protocol, threads, crash_anchor);
+    EXPECT_TRUE(run.windowed) << "threads=" << threads;
+    EXPECT_EQ(run.fingerprint, ref.fingerprint) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelParity, TreeFamilyCrossShardTxns) {
+  ExpectParityAcrossThreadCounts(Protocol::kKauri, /*crash_anchor=*/false);
+}
+
+TEST(ParallelParity, PbftFamilyCrossShardTxns) {
+  ExpectParityAcrossThreadCounts(Protocol::kPbft, /*crash_anchor=*/false);
+}
+
+TEST(ParallelParity, CoordinatorCrashAndRecovery) {
+  ExpectParityAcrossThreadCounts(Protocol::kHotStuff, /*crash_anchor=*/true);
+}
+
+TEST(ParallelParity, NonTxnShardsHaveUnboundedLookahead) {
+  auto run = [](unsigned threads) {
+    auto sd = ParityBuilder(31, Protocol::kHotStuff)
+                  .WithShards(4)
+                  .WithSimThreads(threads)
+                  .BuildSharded();
+    sd->Start();
+    sd->RunUntil(8 * kSec);
+    EXPECT_EQ(sd->partitions(), 4u);  // no txn fleet -> no client partition
+    return std::make_pair(MetricsFingerprint(sd->Metrics()),
+                          sd->executor()->lookahead());
+  };
+  const auto seq = run(1);
+  const auto par = run(4);
+  // No transaction fleet -> no cross-partition edges at all: the windowed
+  // driver gets the unbounded-lookahead sentinel and one window per RunUntil.
+  EXPECT_EQ(seq.second, PartitionExecutor::kUnboundedLookahead);
+  EXPECT_EQ(seq.first, par.first);
+}
+
+TEST(ParallelParity, OneShardStaysOnTheLegacyFastPath) {
+  TxnWorkloadOptions txn;
+  txn.clients_per_shard = 4;
+  txn.keys_per_txn = 2;
+  txn.think_time = 5 * kMsec;
+  txn.stop_at = 4 * kSec;
+  auto run = [&](unsigned threads) {
+    auto sd = ParityBuilder(37, Protocol::kKauri)
+                  .WithShards(1)
+                  .WithTxnWorkload(txn)
+                  .WithSimThreads(threads)
+                  .BuildSharded();
+    sd->Start();
+    sd->RunUntil(8 * kSec);
+    // Degenerate case: a single shard keeps the shared simulator and the
+    // legacy event order whatever --sim-threads says.
+    EXPECT_EQ(sd->partitions(), 1u);
+    EXPECT_EQ(sd->executor(), nullptr);
+    EXPECT_EQ(sd->Metrics().event_core.partitions, 1u);
+    return MetricsFingerprint(sd->Metrics());
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+}  // namespace
+}  // namespace optilog
