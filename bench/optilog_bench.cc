@@ -47,6 +47,12 @@ int Usage(FILE* out) {
       "                  partitions; default 1 = merged sequential driver;\n"
       "                  results are identical at any N)\n"
       "  --json DIR      write BENCH_<scenario>.json files into DIR\n"
+      "  --trace SPEC    flight-recorder export: SPEC is\n"
+      "                  <scenario>:<point index>:<output path>. Re-runs the\n"
+      "                  grid point with tracing + gauge sampling on and\n"
+      "                  writes Chrome trace-event JSON (load it in\n"
+      "                  chrome://tracing or feed tools/trace_stats.py).\n"
+      "                  Only scenarios marked 'trace' in --list support it.\n"
       "  --quiet         suppress per-row tables (summaries still print)\n"
       "  --help          this text\n"
       "\n"
@@ -58,7 +64,7 @@ int Usage(FILE* out) {
 
 void ListScenarios() {
   BenchReporter report("scenarios",
-                       {"name", "tags", "points", "description"});
+                       {"name", "tags", "points", "trace", "description"});
   for (const Scenario* s : ScenarioRegistry::Instance().All()) {
     std::string tags;
     for (const auto& t : s->tags) {
@@ -66,6 +72,7 @@ void ListScenarios() {
     }
     report.AddRow({s->name, tags,
                    std::to_string(EnumeratePoints(*s).size()),
+                   s->trace ? "trace" : "-",
                    s->description});
   }
   std::fputs(report.ToTable().c_str(), stdout);
@@ -93,12 +100,77 @@ void PrintResult(const ScenarioRunResult& r, bool quiet) {
   std::printf("digest %s  wall %.1f ms\n", r.digest.c_str(), r.wall_ms);
 }
 
+// --trace <scenario>:<point index>:<path>: re-run one grid point with the
+// flight recorder (tracing + gauge sampling) on and write its Chrome
+// trace-event JSON. Malformed specs, unknown scenarios, untraceable
+// scenarios, and out-of-range point indexes are all bad usage (exit 2) with
+// the valid alternatives listed, mirroring the unknown-scenario handler.
+int RunTraceExport(const std::string& spec) {
+  const size_t first = spec.find(':');
+  const size_t second = first == std::string::npos
+                            ? std::string::npos
+                            : spec.find(':', first + 1);
+  if (second == std::string::npos || second + 1 >= spec.size()) {
+    std::fprintf(stderr,
+                 "optilog_bench: --trace wants <scenario>:<point index>:"
+                 "<path>, got '%s'\n\n", spec.c_str());
+    return Usage(stderr);
+  }
+  const std::string name = spec.substr(0, first);
+  const std::string point_str = spec.substr(first + 1, second - first - 1);
+  const std::string path = spec.substr(second + 1);
+
+  const ScenarioRegistry& registry = ScenarioRegistry::Instance();
+  const Scenario* s = registry.Find(name);
+  if (s == nullptr || !s->trace) {
+    std::fprintf(stderr, "optilog_bench: %s '%s'\n",
+                 s == nullptr ? "unknown scenario"
+                              : "no trace support in scenario",
+                 name.c_str());
+    std::fprintf(stderr, "scenarios with trace support:\n");
+    for (const Scenario* have : registry.All()) {
+      if (have->trace) {
+        std::fprintf(stderr, "  %s\n", have->name.c_str());
+      }
+    }
+    return 2;
+  }
+  const std::vector<Params> points = EnumeratePoints(*s);
+  char* end = nullptr;
+  const unsigned long index = std::strtoul(point_str.c_str(), &end, 10);
+  if (point_str.empty() ||
+      !std::isdigit(static_cast<unsigned char>(point_str[0])) ||
+      *end != '\0' || index >= points.size()) {
+    std::fprintf(stderr,
+                 "optilog_bench: bad trace point '%s' for scenario '%s'\n",
+                 point_str.c_str(), name.c_str());
+    std::fprintf(stderr, "valid points:\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(stderr, "  %zu: %s\n", i, points[i].Label().c_str());
+    }
+    return 2;
+  }
+
+  std::printf("tracing %s point %lu (%s) -> %s\n", name.c_str(), index,
+              points[index].Label().c_str(), path.c_str());
+  const std::string json = s->trace(points[index]);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "optilog_bench: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), json.size());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   std::vector<std::string> names;
   std::vector<std::string> tags;
   bool list = false, all = false, quiet = false;
   unsigned threads = std::thread::hardware_concurrency();
   std::string json_dir;
+  std::string trace_spec;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -144,6 +216,8 @@ int Main(int argc, char** argv) {
       SetGlobalSimThreads(static_cast<unsigned>(parsed));
     } else if (arg == "--json") {
       json_dir = value("--json");
+    } else if (arg == "--trace") {
+      trace_spec = value("--trace");
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "optilog_bench: unknown option '%s'\n\n",
                    arg.c_str());
@@ -157,6 +231,9 @@ int Main(int argc, char** argv) {
   if (list) {
     ListScenarios();
     return 0;
+  }
+  if (!trace_spec.empty()) {
+    return RunTraceExport(trace_spec);
   }
 
   // Resolve the selection: names + tags, de-duplicated, registry order.

@@ -13,6 +13,7 @@
 #include "src/api/deployment.h"
 #include "src/core/pipeline.h"
 #include "src/net/geo.h"
+#include "src/obs/stage_breakdown.h"
 #include "src/shard/sharded_deployment.h"
 #include "src/tree/tree_space.h"
 #include "src/tree/tree_score.h"
@@ -227,6 +228,8 @@ int main() {
                      .WithShards(2)
                      .WithCrossShardRatio(0.3)
                      .WithTxnWorkload(txn)
+                     .WithTrace()  // flight recorder: schedule-neutral, so
+                                   // every number below is unchanged by it
                      .BuildSharded();
   sharded->Start();
   sharded->RunUntil(10 * kSec);
@@ -246,5 +249,20 @@ int main() {
   const bool shard_ok = sm.txn.committed > 0 && sm.txn.committed_cross > 0 &&
                         sm.txn.kv_checks > 0 && sm.txn.kv_mismatches == 0 &&
                         sm.statemachine.digests_equal != 0;
-  return ok && shard_ok ? 0 : 1;
+
+  // 7) Where did the time go? The flight recorder stamped every committed
+  //    transaction's lifecycle (client_send -> queue_admit -> batch_seal ->
+  //    commit -> reply_sent -> client_complete), so the end-to-end latency
+  //    decomposes into named stages across all three event-core partitions.
+  const StageBreakdown sb = ComputeStageBreakdown(sharded->TraceRecords());
+  if (sb.requests > 0) {
+    const double n = static_cast<double>(sb.requests);
+    std::printf("per-request critical path (%llu chains): client_net %.1f + "
+                "queue %.1f + consensus %.1f + apply %.1f + reply %.1f "
+                "= %.1f ms\n",
+                static_cast<unsigned long long>(sb.requests),
+                sb.client_net_ms / n, sb.queue_ms / n, sb.consensus_ms / n,
+                sb.apply_ms / n, sb.reply_ms / n, sb.total_ms / n);
+  }
+  return ok && shard_ok && sb.requests > 0 ? 0 : 1;
 }

@@ -39,7 +39,22 @@ MetricsReport Deployment::Metrics() {
   if (m.log_head_hex.empty() && pipeline_ != nullptr) {
     m.log_head_hex = DigestHex(log_.head());
   }
+  if (gauges_ != nullptr) {
+    m.timeseries.enabled = true;
+    m.timeseries.interval = gauges_->interval();
+    for (const GaugeSampler::Series& s : gauges_->series()) {
+      m.timeseries.series.push_back({s.name, s.values});
+    }
+  }
   return m;
+}
+
+std::vector<TraceRecord> Deployment::TraceRecords() const {
+  const TraceRecorder* tr = simp_->trace();
+  if (tr == nullptr) {
+    return {};
+  }
+  return MergeTraces({tr});
 }
 
 void Deployment::ScheduleCrash(ReplicaId id, SimTime crash_at,
@@ -256,6 +271,12 @@ std::unique_ptr<Deployment> Deployment::Builder::BuildInternal(
   if (heap_scheduler_) {
     d->simp_->UseHeapScheduler();
   }
+  if (trace_ || gauge_interval_ > 0) {
+    // Before anything schedules: the recorder's native-pending counter must
+    // see every Commit. Idempotent on a shared (sharded) simulator whose
+    // owner already enabled it.
+    d->simp_->EnableTrace();
+  }
   // Topology-derived peak-pending estimate: every replica can have a few
   // in-flight deliveries per round plus a timer, and each client one
   // outstanding request — sized so steady state never grows the slab.
@@ -268,6 +289,11 @@ std::unique_ptr<Deployment> Deployment::Builder::BuildInternal(
   }
   if (crypto_model_.has_value()) {
     d->net_->EnableCpuCost(*crypto_model_);
+    if (d->simp_->trace() != nullptr) {
+      // Charges are home-partition work, so they report to this net's own
+      // (partition-confined) recorder.
+      d->net_->cpu()->SetTrace(d->simp_->trace());
+    }
   }
   d->keys_ = std::make_unique<KeyStore>(d->n_, seed);
 
@@ -403,6 +429,41 @@ std::unique_ptr<Deployment> Deployment::Builder::BuildInternal(
         hook(id, at);
       }
     });
+  }
+
+  if (gauge_interval_ > 0) {
+    d->gauges_ = std::make_unique<GaugeSampler>(d->simp_, gauge_interval_);
+    Deployment* dp = d.get();
+    // Fixed registration order — it is the series order in the report, the
+    // JSON, and the fingerprint. Every read below touches only this
+    // deployment's own partition state (see gauge.h).
+    if (d->rsm_group_ != nullptr) {
+      for (ReplicaId id = 0; id < d->n_; ++id) {
+        d->gauges_->Add("commit_frontier.r" + std::to_string(id), [dp, id] {
+          return static_cast<double>(dp->rsm_group_->rsm(id).applied());
+        });
+      }
+    }
+    d->gauges_->Add("queue_depth", [dp] {
+      const RequestQueue* q = dp->tree_ != nullptr
+                                  ? dp->tree_->request_queue()
+                                  : dp->pbft_->request_queue();
+      return q != nullptr ? static_cast<double>(q->depth()) : 0.0;
+    });
+    d->gauges_->Add("pending_events", [dp] {
+      return static_cast<double>(dp->simp_->NativePending());
+    });
+    if (d->net_->cpu() != nullptr) {
+      d->gauges_->Add("crypto_backlog_ms", [dp] {
+        return static_cast<double>(
+                   dp->net_->cpu()->BacklogNsAt(dp->simp_->now())) /
+               1e6;
+      });
+    }
+    d->gauges_->Add("pool_hit_rate", [dp] {
+      return dp->simp_->event_core_stats().message_pool_hit_rate();
+    });
+    d->gauges_->Start();
   }
 
   if (faults_) {

@@ -36,6 +36,7 @@
 #include "src/net/geo.h"
 #include "src/net/latency_model.h"
 #include "src/net/network.h"
+#include "src/obs/gauge.h"
 #include "src/pbft/pbft_rsm.h"
 #include "src/rsm/log.h"
 #include "src/shard/txn_options.h"
@@ -111,8 +112,18 @@ class Deployment {
   void RunUntil(SimTime t) { sim().RunUntil(t); }
   // The engine's metrics, with log_head_hex filled from the deployment's
   // measurement bus when the engine doesn't own one (tree protocols under
-  // WithOptiLogReconfig commit through the deployment log).
+  // WithOptiLogReconfig commit through the deployment log), and the gauge
+  // time-series folded in when WithGaugeSampling ran.
   MetricsReport Metrics();
+
+  // --- observability ---------------------------------------------------------
+  // This deployment's flight-recorder records (WithTrace /
+  // WithGaugeSampling), merged in the canonical (t, id) order; empty when
+  // tracing is off. Sharded deployments merge across partitions instead
+  // (ShardedDeployment::TraceRecords).
+  std::vector<TraceRecord> TraceRecords() const;
+  // The gauge sampler, or nullptr without WithGaugeSampling.
+  const GaugeSampler* gauges() const { return gauges_.get(); }
 
  private:
   friend class Builder;
@@ -158,6 +169,10 @@ class Deployment {
   // (BindStateMachine) but never touch it during destruction.
   std::unique_ptr<RsmGroup> rsm_group_;
 
+  // Gauge sampler (WithGaugeSampling): rides simp_ as a timer target, so it
+  // must outlive every scheduled sample — destroyed with the deployment.
+  std::unique_ptr<GaugeSampler> gauges_;
+
   // Extra recovery listeners beyond the engine's own rebinding
   // (AddRecoveredHook); the shard layer's coordinators live here.
   std::vector<std::function<void(ReplicaId, SimTime)>> recovered_hooks_;
@@ -191,6 +206,27 @@ class Deployment::Builder {
   // Metrics() gains a CryptoReport. Off by default; without it runs are
   // byte-identical to pre-cost-model behavior (fingerprints included).
   Builder& WithCryptoCostModel(const CryptoCostModel& model);
+
+  // Attaches the flight recorder (src/obs/trace.h): every dispatch, send,
+  // timer fire, crypto charge, and protocol span lands in a per-partition
+  // record buffer (Deployment::TraceRecords). Recording is schedule-neutral
+  // — fingerprints are byte-identical with tracing on or off.
+  Builder& WithTrace() {
+    trace_ = true;
+    return *this;
+  }
+
+  // Samples gauge time-series (commit frontiers, queue depth, pending
+  // events, crypto backlog, pool hit rate) every `interval` of sim time
+  // into MetricsReport::timeseries. Implies WithTrace — the native-pending
+  // gauge needs the recorder's per-event hook. Unlike tracing, sampling
+  // schedules real timers, so sampled runs have their own fingerprints.
+  Builder& WithGaugeSampling(SimTime interval) {
+    OL_CHECK(interval > 0);
+    trace_ = true;
+    gauge_interval_ = interval;
+    return *this;
+  }
 
   // Seeds everything the builder derives randomness from: the key store,
   // topology searches, the pipeline RNG, and the PBFT harness seed.
@@ -308,6 +344,8 @@ class Deployment::Builder {
   std::optional<TreeTopology> topology_;
   std::optional<AnnealingParams> search_params_;
   bool heap_scheduler_ = false;
+  bool trace_ = false;
+  SimTime gauge_interval_ = 0;  // 0 = no gauge sampling
   bool optilog_reconfig_ = false;
   SimTime search_window_ = 0;
   uint32_t shards_ = 1;

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/ids.h"
 #include "src/sim/time.h"
 
@@ -88,28 +89,45 @@ class CpuMeter {
     }
   }
 
+  // Op discriminators for kCryptoCharge trace records (the `type` field).
+  enum CryptoOp : uint16_t {
+    kOpSign = 1,
+    kOpVerify = 2,
+    kOpHash = 3,
+    kOpQcAggregate = 4,
+    kOpQcVerify = 5,
+  };
+
+  // Attaches the flight recorder every charge is reported to (the HOME
+  // partition's — only a net's own replicas and colocated coordinators ever
+  // charge on it, so recording stays partition-confined). Null disables.
+  void SetTrace(TraceRecorder* trace) { trace_ = trace; }
+
   void ChargeSign(ReplicaId id, SimTime now, uint64_t count = 1) {
-    Charge(id, now, model_.sign_ns * static_cast<double>(count));
+    Charge(id, now, model_.sign_ns * static_cast<double>(count), kOpSign);
     signs_ += count;
   }
   void ChargeVerify(ReplicaId id, SimTime now, uint64_t count = 1) {
-    Charge(id, now, model_.verify_ns * static_cast<double>(count));
+    Charge(id, now, model_.verify_ns * static_cast<double>(count), kOpVerify);
     verifies_ += count;
   }
   void ChargeHash(ReplicaId id, SimTime now, uint64_t bytes) {
     Charge(id, now,
-           model_.hash_base_ns + model_.hash_byte_ns * static_cast<double>(bytes));
+           model_.hash_base_ns + model_.hash_byte_ns * static_cast<double>(bytes),
+           kOpHash);
     ++hashes_;
     hashed_bytes_ += bytes;
   }
   void ChargeQcAggregate(ReplicaId id, SimTime now, uint64_t shares) {
-    Charge(id, now, model_.qc_aggregate_share_ns * static_cast<double>(shares));
+    Charge(id, now, model_.qc_aggregate_share_ns * static_cast<double>(shares),
+           kOpQcAggregate);
     qc_aggregated_shares_ += shares;
   }
   void ChargeQcVerify(ReplicaId id, SimTime now, uint64_t signers) {
     Charge(id, now,
            model_.qc_verify_base_ns +
-               model_.qc_verify_signer_ns * static_cast<double>(signers));
+               model_.qc_verify_signer_ns * static_cast<double>(signers),
+           kOpQcVerify);
     ++qc_verifies_;
   }
 
@@ -144,8 +162,22 @@ class CpuMeter {
     return best;
   }
 
+  // Modeled CPU time still owed beyond `now`, summed over replicas — the
+  // crypto backlog gauge. A pure function of the charge history, so it is
+  // driver-invariant at any sample instant.
+  uint64_t BacklogNsAt(SimTime now) const {
+    const int64_t now_ns = now * 1000;
+    uint64_t backlog = 0;
+    for (int64_t horizon : busy_until_ns_) {
+      if (horizon > now_ns) {
+        backlog += static_cast<uint64_t>(horizon - now_ns);
+      }
+    }
+    return backlog;
+  }
+
  private:
-  void Charge(ReplicaId id, SimTime now, double ns) {
+  void Charge(ReplicaId id, SimTime now, double ns, uint16_t op) {
     if (ns <= 0.0) {
       return;
     }
@@ -161,8 +193,13 @@ class CpuMeter {
     horizon = (horizon > now_ns ? horizon : now_ns) + cost;
     busy_ns_[id] += static_cast<uint64_t>(cost);
     busy_ns_total_ += static_cast<uint64_t>(cost);
+    if (trace_ != nullptr) {
+      trace_->EmitHere(now, TraceKind::kCryptoCharge, op, id,
+                       static_cast<uint64_t>(cost), 0);
+    }
   }
 
+  TraceRecorder* trace_ = nullptr;
   CryptoCostModel model_;
   std::vector<int64_t> busy_until_ns_;  // busy-until instants, ns
   std::vector<uint64_t> busy_ns_;       // total charged per replica, ns

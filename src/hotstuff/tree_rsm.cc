@@ -333,6 +333,10 @@ void TreeRsm::OnClientRequest(ReplicaId receiver, const MessagePtr& msg) {
   if (queue_->Push(RequestRef{req.client, req.request_id, req.sent_at, req.op,
                               req.shard},
                    sim_->now()) == RequestQueue::Admit::kAccepted) {
+    if (TraceRecorder* tr = sim_->trace()) {
+      tr->EmitHere(sim_->now(), TraceKind::kQueueAdmit, 0, receiver,
+                   req.request_id, req.client);
+    }
     PumpWorkload(false);
   }
 }
@@ -391,6 +395,15 @@ void TreeRsm::StartRound() {
   round.batch = std::move(batch);
   round.votes.Insert(tree_.root());  // the root's own vote is free
 
+  if (TraceRecorder* tr = sim_->trace()) {
+    tr->EmitHere(sim_->now(), TraceKind::kPropose, 0, tree_.root(), view,
+                 round.batch.size());
+    for (const RequestRef& req : round.batch) {
+      tr->EmitHere(sim_->now(), TraceKind::kBatchSeal, 0, tree_.root(),
+                   req.request_id, req.client);
+    }
+  }
+
   auto propose = sim_->pool().Make<ProposeMsg>();
   propose->view = view;
   propose->block = round.block;
@@ -448,8 +461,13 @@ void TreeRsm::CommitRound(uint64_t view) {
     }
     throughput_.RecordCommit(sim_->now(),
                              static_cast<uint32_t>(round.batch.size()));
+    TraceRecorder* const tr = sim_->trace();
     for (size_t i = 0; i < round.batch.size(); ++i) {
       const RequestRef& req = round.batch[i];
+      if (tr != nullptr) {
+        tr->EmitHere(sim_->now(), TraceKind::kCommit, 0, round.proposer,
+                     req.request_id, req.client);
+      }
       auto reply = sim_->pool().Make<ClientReplyMsg>();
       reply->request_id = req.request_id;
       reply->seq = view;
@@ -460,6 +478,10 @@ void TreeRsm::CommitRound(uint64_t view) {
         // Replies are MAC-authenticated per client (hash-cost, not a full
         // signature) — the BFT-SMaRt reply model.
         cpu->ChargeHash(round.proposer, sim_->now(), reply->WireSize());
+      }
+      if (tr != nullptr) {
+        tr->EmitHere(sim_->now(), TraceKind::kReplySent, 0, round.proposer,
+                     req.request_id, req.client);
       }
       net_->Send(round.proposer, req.client, std::move(reply));
     }

@@ -5,6 +5,16 @@
 #include "src/wire/codec.h"
 
 namespace optilog {
+namespace {
+
+// Trace discriminator for a message: (family << 8) | protocol type tag,
+// matching the dispatch-record packing in Simulator::Dispatch.
+uint16_t MsgTraceTag(const Message& msg) {
+  return static_cast<uint16_t>((static_cast<uint16_t>(msg.family()) << 8) |
+                               (static_cast<uint16_t>(msg.type()) & 0xff));
+}
+
+}  // namespace
 
 void Network::EnableParallel(PartitionPlan plan) {
   partitioned_ = true;
@@ -100,6 +110,10 @@ void Network::Send(ReplicaId from, ReplicaId to, MessagePtr msg) {
   NetworkStats& lane = LaneOf(from);
   ++lane.messages_sent;
   lane.bytes_sent += msg->WireSize();
+  if (TraceRecorder* tr = src.trace()) {
+    tr->EmitHere(src.now(), TraceKind::kMsgSend, MsgTraceTag(*msg), from, to,
+                 msg->WireSize());
+  }
   const SimTime sent_at =
       OccupyUplink(from, msg->WireSize(), SendBase(from, src));
   const OutboundProfile profile = ClassifyOutbound(from, *msg);
@@ -124,6 +138,7 @@ void Network::Send(ReplicaId from, ReplicaId to, MessagePtr msg) {
       rec.key.sink = this;
       rec.key.from = from;
       rec.key.to = to;
+      rec.key.trace_parent = src.TraceContext();
       rec.frame = EncodeMessage(*msg);
       part_.exchange->Push(src_owner, dst_owner, std::move(rec));
       return;
@@ -150,6 +165,12 @@ void Network::Multicast(ReplicaId from, const std::vector<ReplicaId>& to,
   const SimTime base = SendBase(from, src);
   const std::vector<SimTime>* row = latency_->OneWayRow(from);
   NetworkStats& lane = LaneOf(from);
+  if (TraceRecorder* tr = src.trace()) {
+    // One record per multicast; a = fan-out size (per-recipient flow is in
+    // the delivery dispatch records, which parent back here).
+    tr->EmitHere(src.now(), TraceKind::kMsgSend, MsgTraceTag(*msg), from,
+                 to.size(), wire);
+  }
   if (partitioned_) {
     // Every protocol multicast today is replica-to-replicas (one partition);
     // handle a mixed fan-out defensively with a per-entry loop that
@@ -188,6 +209,7 @@ void Network::Multicast(ReplicaId from, const std::vector<ReplicaId>& to,
         rec.key.sink = this;
         rec.key.from = from;
         rec.key.to = dest;
+        rec.key.trace_parent = src.TraceContext();
         rec.frame = EncodeMessage(*msg);
         part_.exchange->Push(src_owner, OwnerOf(dest), std::move(rec));
       }

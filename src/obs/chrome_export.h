@@ -1,0 +1,24 @@
+// Chrome trace-event JSON export (chrome://tracing / Perfetto loadable).
+//
+// Two event families share the file:
+//   - one instant event ("ph":"i") per trace record, carrying the record's
+//     full identity (id, parent, kind, payload) in args — lossless, which is
+//     what tools/trace_stats.py recomputes the critical-path breakdown from;
+//   - one complete event ("ph":"X") per request lifecycle stage, on
+//     tid = client id, so a committed request renders as an aligned
+//     client_net / queue / consensus / apply / reply bar stack.
+//
+// Serialization goes through the canonical JsonWriter (std::to_chars, no
+// whitespace), so the exported bytes are as deterministic as the trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace optilog {
+
+std::string ChromeTraceJson(const std::vector<TraceRecord>& records);
+
+}  // namespace optilog

@@ -1,0 +1,47 @@
+// Per-committed-request critical-path decomposition over a merged trace.
+//
+// A committed request leaves six lifecycle records keyed by
+// (request id, client id): client_send -> queue_admit -> batch_seal ->
+// commit -> reply_sent -> client_complete. The breakdown telescopes the
+// end-to-end latency into named stages:
+//
+//   client_net = queue_admit - client_send   (client WAN hop + forwarding)
+//   queue      = batch_seal - queue_admit    (batching wait in RequestQueue)
+//   batch      = 0 in this model             (seal and propose share one
+//                                             handler; formation cost is
+//                                             part of the queue stage)
+//   consensus  = commit - batch_seal         (rounds / phases / 2PC)
+//   apply      = reply_sent - commit         (state-machine execute at the
+//                                             commit boundary)
+//   reply      = client_complete - reply_sent (reply hop + quorum wait)
+//
+// The sums are exact-gated metrics in the trace_breakdown scenario; the
+// offline twin (tools/trace_stats.py) recomputes the same decomposition from
+// the exported Chrome JSON. Retries reuse the first client_send and the
+// records of the attempt that committed (first record of each kind wins,
+// matching dedup semantics at the leader).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace optilog {
+
+struct StageBreakdown {
+  uint64_t requests = 0;    // requests with the full six-record chain
+  uint64_t incomplete = 0;  // committed but missing a lifecycle record
+  // Stage sums in milliseconds across all complete chains.
+  double client_net_ms = 0.0;
+  double queue_ms = 0.0;
+  double batch_ms = 0.0;
+  double consensus_ms = 0.0;
+  double apply_ms = 0.0;
+  double reply_ms = 0.0;
+  double total_ms = 0.0;  // telescoped end-to-end sum (== stage sum)
+};
+
+StageBreakdown ComputeStageBreakdown(const std::vector<TraceRecord>& records);
+
+}  // namespace optilog

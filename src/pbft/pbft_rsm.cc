@@ -80,6 +80,10 @@ void PbftReplica::HandlePrePrepare(ReplicaId from, const PrePrepareMsg& msg,
     }
   }
 
+  if (TraceRecorder* tr = harness_->sim_->trace()) {
+    tr->EmitHere(at, TraceKind::kPbftPhase, 1, id_, msg.seq, 0);
+  }
+
   // Send Write (Prepare) to all replicas.
   auto write = harness_->sim_->pool().Make<PhaseMsg>();
   write->accept = false;
@@ -159,6 +163,10 @@ void PbftReplica::MaybeAdvance(uint64_t seq) {
   }
   if (!inst.accepted && inst.write_weight >= quorum) {
     inst.accepted = true;
+    if (TraceRecorder* tr = harness_->sim_->trace()) {
+      tr->EmitHere(harness_->sim_->now(), TraceKind::kPbftPhase, 2, id_, seq,
+                   0);
+    }
     auto accept = harness_->sim_->pool().Make<PhaseMsg>();
     accept->accept = true;
     accept->seq = seq;
@@ -180,15 +188,24 @@ void PbftReplica::MaybeAdvance(uint64_t seq) {
 void PbftReplica::Commit(uint64_t seq) {
   Instance& inst = instances_[seq];
   inst.committed = true;
+  if (TraceRecorder* tr = harness_->sim_->trace()) {
+    tr->EmitHere(harness_->sim_->now(), TraceKind::kPbftPhase, 3, id_, seq, 0);
+  }
   // Commit boundary: execute, then reply to every client in the batch (the
   // client completes on its f + 1-th matching reply). With a state machine
   // bound, execution is strictly in sequence order — the group buffers this
   // commit if an earlier instance is still undecided here — and the reply
-  // carries this replica's committed result.
+  // carries this replica's committed result. Every replica emits its own
+  // commit/reply records; the stage fold keys on the earliest (first-record-
+  // wins), which is the earliest replica to decide.
   if (harness_->group_ != nullptr) {
     harness_->group_->CommitAt(
         id_, seq, inst.leader, inst.batch, harness_->sim_->now(),
         [this, seq](const RequestRef& req, const Bytes& result) {
+          if (TraceRecorder* tr = harness_->sim_->trace()) {
+            tr->EmitHere(harness_->sim_->now(), TraceKind::kCommit, 0, id_,
+                         req.request_id, req.client);
+          }
           auto reply = harness_->sim_->pool().Make<ClientReplyMsg>();
           reply->request_id = req.request_id;
           reply->seq = seq;
@@ -197,15 +214,27 @@ void PbftReplica::Commit(uint64_t seq) {
             // Per-client reply MACs (hash-cost, not full signatures).
             cpu->ChargeHash(id_, harness_->sim_->now(), reply->WireSize());
           }
+          if (TraceRecorder* tr = harness_->sim_->trace()) {
+            tr->EmitHere(harness_->sim_->now(), TraceKind::kReplySent, 0, id_,
+                         req.request_id, req.client);
+          }
           harness_->net_->Send(id_, req.client, std::move(reply));
         });
   } else {
     for (const RequestRef& req : inst.batch) {
+      if (TraceRecorder* tr = harness_->sim_->trace()) {
+        tr->EmitHere(harness_->sim_->now(), TraceKind::kCommit, 0, id_,
+                     req.request_id, req.client);
+      }
       auto reply = harness_->sim_->pool().Make<ClientReplyMsg>();
       reply->request_id = req.request_id;
       reply->seq = seq;
       if (CpuMeter* cpu = harness_->net_->cpu()) {
         cpu->ChargeHash(id_, harness_->sim_->now(), reply->WireSize());
+      }
+      if (TraceRecorder* tr = harness_->sim_->trace()) {
+        tr->EmitHere(harness_->sim_->now(), TraceKind::kReplySent, 0, id_,
+                     req.request_id, req.client);
       }
       harness_->net_->Send(id_, req.client, std::move(reply));
     }
@@ -405,6 +434,10 @@ void PbftHarness::OnClientRequest(ReplicaId receiver, const MessagePtr& msg) {
                    sim_->now()) != RequestQueue::Admit::kAccepted) {
     return;
   }
+  if (TraceRecorder* tr = sim_->trace()) {
+    tr->EmitHere(sim_->now(), TraceKind::kQueueAdmit, 0, receiver,
+                 req.request_id, req.client);
+  }
   if (!instance_open_) {
     ProposeNext(sim_->now());
   }
@@ -425,6 +458,14 @@ void PbftHarness::ProposeNext(SimTime now) {
   msg->batch = queue_->PopBatch(
       now, queue_->depth() >= queue_->policy().max_batch ? BatchTrigger::kSize
                                                          : BatchTrigger::kIdle);
+  if (TraceRecorder* tr = sim_->trace()) {
+    tr->EmitHere(now, TraceKind::kPropose, 0, config_.leader, seq,
+                 msg->batch.size());
+    for (const RequestRef& req : msg->batch) {
+      tr->EmitHere(now, TraceKind::kBatchSeal, 0, config_.leader,
+                   req.request_id, req.client);
+    }
+  }
   if (CpuMeter* cpu = net_->cpu()) {
     // Proposing: digest the batch, sign the Pre-Prepare.
     cpu->ChargeHash(config_.leader, now, msg->WireSize());

@@ -132,6 +132,7 @@ class PbftHarness : public ConsensusEngine, public TimerTarget {
   Simulator* sim() { return sim_; }
 
   uint64_t committed_instances() const { return committed_instances_; }
+  const RequestQueue* request_queue() const { return queue_.get(); }
   const std::vector<SimTime>& reconfigure_times() const { return reconfig_times_; }
   const std::vector<SimTime>& suspicion_times() const { return suspicion_times_; }
   const LatencyMatrix& matrix() const { return pipeline_->latency_monitor().matrix(); }

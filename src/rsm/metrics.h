@@ -33,8 +33,18 @@ inline double MeanOpsPerSec(const std::vector<uint64_t>& per_second,
 // Buckets committed commands into one-second bins of simulated time.
 class ThroughputRecorder {
  public:
+  // Growth guard: one far-future commit timestamp (a corrupt SimTime, or a
+  // scenario hook committing past a multi-day horizon) must not balloon the
+  // per-second vector into gigabytes. Commits at or beyond the cap fold
+  // into the final bucket — total() stays exact and every realistic run
+  // (seconds to hours of sim time) is untouched.
+  static constexpr size_t kMaxTrackedSeconds = size_t{1} << 20;  // ~12 days
+
   void RecordCommit(SimTime at, uint32_t commands) {
-    const size_t bucket = static_cast<size_t>(at / kSec);
+    size_t bucket = at > 0 ? static_cast<size_t>(at / kSec) : 0;
+    if (bucket >= kMaxTrackedSeconds) {
+      bucket = kMaxTrackedSeconds - 1;
+    }
     if (buckets_.size() <= bucket) {
       buckets_.resize(bucket + 1, 0);
     }
@@ -163,6 +173,22 @@ struct CryptoReport {
   uint64_t busy_ns_max_replica = 0;
 };
 
+// Gauge time-series sampled on simulated time (src/obs/gauge.h), filled when
+// the deployment enables gauge sampling; all empty with `enabled == false`.
+// Every series holds one value per elapsed `interval` of sim time, sampled
+// from partition-confined state only — byte-identical at any --sim-threads
+// value. Folded into the metrics fingerprint only when enabled, so
+// sampling-free runs keep their fingerprints.
+struct TimeseriesReport {
+  bool enabled = false;
+  SimTime interval = 0;  // sampling period (sim time)
+  struct Series {
+    std::string name;
+    std::vector<double> values;
+  };
+  std::vector<Series> series;
+};
+
 // Protocol-agnostic snapshot of a run's outcome: what every ConsensusEngine
 // reports regardless of whether "committed" counts tree blocks or PBFT
 // instances. Benches and tests consume this instead of reaching into
@@ -206,6 +232,9 @@ struct MetricsReport {
   // fingerprint only when enabled, so cost-model-free runs keep their
   // pre-cost-model fingerprints.
   CryptoReport crypto;
+  // Periodic gauge samples (src/obs/gauge.h); enabled only under
+  // Deployment::Builder::WithGaugeSampling.
+  TimeseriesReport timeseries;
 
   double MeanOps(size_t from_sec, size_t to_sec) const {
     return MeanOpsPerSec(throughput_per_sec, from_sec, to_sec);

@@ -49,6 +49,19 @@ void WriteBody(JsonWriter& w, const ScenarioRunResult& r, bool include_wall) {
       w.Key(k).Double(v);
     }
     w.EndObject();
+    if (!p.timeseries.empty()) {
+      // Deterministic (partition-confined gauge reads on sim-time timers),
+      // so it lives in the digested body like metrics do.
+      w.Key("timeseries").BeginObject();
+      for (const auto& [name, values] : p.timeseries) {
+        w.Key(name).BeginArray();
+        for (double v : values) {
+          w.Double(v);
+        }
+        w.EndArray();
+      }
+      w.EndObject();
+    }
     const EventCoreStats& ec = p.event_core;
     w.Key("event_core").BeginObject();
     w.Key("events_executed").Uint(ec.events_executed);

@@ -258,6 +258,19 @@ std::string MetricsFingerprint(const MetricsReport& m) {
     blob += FormatDouble(m.txn.cross_shard_p95_ms) + "|";
     blob += FormatDouble(m.txn.cross_shard_p99_ms) + "|";
   }
+  // Timeseries section: appended only when gauge sampling ran, so every
+  // sampling-free run (tracing included — the recorder is schedule-neutral)
+  // hashes the exact same blob as before the observability layer.
+  if (m.timeseries.enabled) {
+    blob += "ts|";
+    u(static_cast<uint64_t>(m.timeseries.interval));
+    for (const TimeseriesReport::Series& s : m.timeseries.series) {
+      blob += s.name + "|";
+      for (double v : s.values) {
+        blob += FormatDouble(v) + "|";
+      }
+    }
+  }
   // Crypto/wire section: appended only under a CryptoCostModel, so every
   // cost-model-free fingerprint hashes the exact same blob as before the
   // wire/cost redesign — the acceptance gate for the canonical encodings.

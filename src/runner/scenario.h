@@ -63,6 +63,10 @@ struct PointResult {
   std::vector<std::vector<std::string>> rows;
   // Named scalar metrics — the values compare_bench.py checks tolerances on.
   std::vector<std::pair<std::string, double>> metrics;
+  // Gauge time-series (name -> sampled values), filled by points that run
+  // with gauge sampling on. Deterministic — lands in the JSON body and the
+  // scenario digest; compare_bench.py checks the arrays element-wise.
+  std::vector<std::pair<std::string, std::vector<double>>> timeseries;
   // Event-core counters of the point's simulator (zeros when the point ran
   // no Deployment). Wall-clock-derived fields never reach the JSON.
   EventCoreStats event_core;
@@ -96,6 +100,10 @@ struct Scenario {
   std::vector<Params> points;
   std::function<PointResult(const Params&)> run;
   std::function<SummaryTable(const std::vector<PointResult>&)> finalize;
+  // Optional flight-recorder hook (optilog_bench --trace): re-runs the given
+  // grid point with tracing enabled and returns the Chrome trace-event JSON
+  // (src/obs/chrome_export.h). Unset = scenario doesn't support --trace.
+  std::function<std::string(const Params&)> trace;
 
   bool HasTag(const std::string& tag) const;
 };

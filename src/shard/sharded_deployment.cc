@@ -50,6 +50,16 @@ void ShardedDeployment::RunUntil(SimTime t) {
   clock_ = t;
 }
 
+std::vector<TraceRecord> ShardedDeployment::TraceRecords() const {
+  std::vector<const TraceRecorder*> recorders;
+  for (const auto& sim : psims_) {
+    if (sim->trace() != nullptr) {
+      recorders.push_back(sim->trace());
+    }
+  }
+  return MergeTraces(recorders);
+}
+
 size_t ShardedDeployment::SlabCapacity() const {
   size_t total = 0;
   for (const auto& sim : psims_) {
@@ -71,7 +81,8 @@ MetricsReport ShardedDeployment::Metrics() {
   double latency_sum = 0.0;
   bool digests_equal = true;
   std::string digest_concat;
-  for (auto& d : shards_) {
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    Deployment* d = shards_[si].get();
     MetricsReport m = d->Metrics();
     agg.committed += m.committed;
     agg.total_commands += m.total_commands;
@@ -145,6 +156,19 @@ MetricsReport ShardedDeployment::Metrics() {
       agg.statemachine.catchup_ms_total += s.catchup_ms_total;
       agg.statemachine.catchup_ms_max =
           std::max(agg.statemachine.catchup_ms_max, s.catchup_ms_max);
+    }
+
+    if (m.timeseries.enabled) {
+      // Per-shard series side by side under "s<i>." prefixes (shard order =
+      // series order); each shard samples on its own partition clock, so the
+      // arrays are individually driver-invariant and concatenation is too.
+      agg.timeseries.enabled = true;
+      agg.timeseries.interval = m.timeseries.interval;
+      const std::string prefix = "s" + std::to_string(si) + ".";
+      for (TimeseriesReport::Series& ts : m.timeseries.series) {
+        agg.timeseries.series.push_back(
+            {prefix + ts.name, std::move(ts.values)});
+      }
     }
   }
   std::sort(agg.reconfig_times.begin(), agg.reconfig_times.end());
@@ -239,6 +263,12 @@ std::unique_ptr<ShardedDeployment> Deployment::Builder::BuildSharded() {
   for (uint32_t p = 0; p < partitions; ++p) {
     sd->psims_.push_back(std::make_unique<Simulator>());
     sd->psims_[p]->SetPartition(p);
+    if (trace_ || gauge_interval_ > 0) {
+      // After SetPartition (record ids embed the partition) and before any
+      // scheduling. Covers the client partition too, which never goes
+      // through BuildInternal; the per-shard EnableTrace calls are no-ops.
+      sd->psims_[p]->EnableTrace();
+    }
   }
 
   const uint32_t total_clients = txn_workload_.clients_per_shard * shards;

@@ -98,6 +98,12 @@ class ShardedDeployment {
   MetricsReport Metrics();
   MetricsReport ShardMetrics(uint32_t s) { return shards_.at(s)->Metrics(); }
 
+  // Flight-recorder records merged across every partition in the canonical
+  // (t, id) order; empty without WithTrace / WithGaugeSampling. The merged
+  // sequence is a pure function of the per-partition streams, so it is
+  // byte-identical at any --sim-threads value.
+  std::vector<TraceRecord> TraceRecords() const;
+
  private:
   friend class Deployment::Builder;
   ShardedDeployment() = default;

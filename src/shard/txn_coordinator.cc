@@ -125,6 +125,17 @@ void TxnCoordinator::StartTxn(const TxnRequestMsg& req, SimTime at) {
   ++stats_.txns;
   auto [it, inserted] = txns_.emplace(txn_id, std::move(txn));
   OL_CHECK(inserted);
+  if (TraceRecorder* tr = sim_->trace()) {
+    // Coordinator-level lifecycle records keyed on the CLIENT's (request,
+    // client) so the 2PC path maps onto the same six-stage chain as a
+    // direct request: admission and batch-seal coincide (a coordinator has
+    // no batching delay — the documented batch=0 model), commit/reply land
+    // at the decision.
+    tr->EmitHere(at, TraceKind::kQueueAdmit, 0, id_, req.request_id,
+                 req.client);
+    tr->EmitHere(at, TraceKind::kBatchSeal, 0, id_, req.request_id,
+                 req.client);
+  }
   BeginPhase(txn_id, it->second, Phase::kPrepareHome, at);
 }
 
@@ -198,6 +209,18 @@ void TxnCoordinator::BeginPhase(uint64_t txn_id, Txn& txn, Phase phase,
   }
   OL_CHECK(!targets.empty());
   txn.awaiting = static_cast<uint32_t>(targets.size());
+  if (TraceRecorder* tr = sim_->trace()) {
+    if (phase == Phase::kDecideHome) {
+      tr->EmitHere(now, TraceKind::kTxnDecide, 0, id_, txn_id, 1);
+    } else if (phase == Phase::kAbortAll) {
+      tr->EmitHere(now, TraceKind::kTxnDecide, 0, id_, txn_id, 0);
+    }
+    if (tag == TxnTag::kPrepare) {
+      for (uint32_t shard : targets) {
+        tr->EmitHere(now, TraceKind::kTxnPrepare, 0, id_, txn_id, shard);
+      }
+    }
+  }
   for (uint32_t shard : targets) {
     KvTxnOp record;
     record.tag = tag;
@@ -307,6 +330,14 @@ void TxnCoordinator::ReplyToClient(const Txn& txn, bool committed,
                                    SimTime at) {
   if (txn.client == kNoReplica) {
     return;
+  }
+  if (TraceRecorder* tr = sim_->trace()) {
+    if (committed) {
+      tr->EmitHere(at, TraceKind::kCommit, 0, id_, txn.client_req,
+                   txn.client);
+    }
+    tr->EmitHere(at, TraceKind::kReplySent, 0, id_, txn.client_req,
+                 txn.client);
   }
   auto reply = sim_->pool().Make<TxnReplyMsg>();
   reply->request_id = txn.client_req;

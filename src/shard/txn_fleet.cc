@@ -125,6 +125,11 @@ void TxnClient::StartTxn(SimTime now) {
 
   cur_ = std::move(p);
   ++fleet_->submitted_;
+  if (TraceRecorder* tr = fleet_->sim().trace()) {
+    // Lifecycle root of this transaction's span tree; retries reuse it.
+    tr->EmitHere(now, TraceKind::kClientSend, cur_->cross ? 1 : 0, id_,
+                 cur_->request_id, id_);
+  }
   SendAttempt(now);
 }
 
@@ -186,6 +191,13 @@ void TxnClient::OnMessage(ReplicaId from, const MessagePtr& msg, SimTime at) {
 void TxnClient::Complete(bool committed, const Bytes& results, SimTime at) {
   Pending p = std::move(*cur_);
   cur_.reset();
+
+  if (committed) {
+    if (TraceRecorder* tr = fleet_->sim().trace()) {
+      tr->EmitHere(at, TraceKind::kClientComplete, p.cross ? 1 : 0, id_,
+                   p.request_id, id_);
+    }
+  }
 
   if (!committed) {
     ++fleet_->aborted_;

@@ -167,6 +167,10 @@ EventId Simulator::Commit(SimTime at, uint32_t index) {
   slot.sched = now_;
   slot.src = partition_;
   slot.seq = next_seq_++;
+  if (trace_ != nullptr) {
+    slot.trace_parent = trace_->current();
+    ++native_pending_;
+  }
   ++live_;
   stats_.peak_pending = std::max(stats_.peak_pending, live_);
   if (use_heap_) {
@@ -198,6 +202,9 @@ void Simulator::InsertForeign(const ForeignDelivery& f, MessagePtr msg) {
   slot.sched = f.sched;
   slot.src = f.src;
   slot.seq = f.seq;
+  if (trace_ != nullptr) {
+    slot.trace_parent = f.trace_parent;
+  }
   ++live_;
   stats_.peak_pending = std::max(stats_.peak_pending, live_);
   ++stats_.typed_deliveries;
@@ -302,6 +309,9 @@ void Simulator::Cancel(EventId id) {
   }
   // Heap/overflow residents just leave a generation-mismatched key that the
   // pop paths skip (without counting it as executed).
+  if (trace_ != nullptr && slots_[index].src == partition_) {
+    --native_pending_;
+  }
   ReleaseSlot(index);
   ++stats_.cancellations;
 }
@@ -340,6 +350,14 @@ void Simulator::Dispatch(uint32_t index) {
   Slot& slot = slots_[index];
   now_ = slot.at;
   ++stats_.events_executed;
+  TraceRecorder* const tr = trace_;
+  uint64_t tparent = 0;
+  if (tr != nullptr) {
+    tparent = slot.trace_parent;
+    if (slot.src == partition_) {
+      --native_pending_;
+    }
+  }
   // Move the payload out before releasing: the handler may schedule new
   // events, which can recycle this very slot (and grow the slab, so the
   // `slot` reference must not outlive ReleaseSlot either).
@@ -350,6 +368,17 @@ void Simulator::Dispatch(uint32_t index) {
       const ReplicaId to = slot.to;
       MessagePtr msg = std::move(slot.msg);
       ReleaseSlot(index);
+      if (tr != nullptr) {
+        // type packs (family << 8) | message type; the current context is
+        // this dispatch for everything the handler schedules or emits.
+        const uint16_t tag =
+            msg ? static_cast<uint16_t>(
+                      (static_cast<uint16_t>(msg->family()) << 8) |
+                      (static_cast<uint16_t>(msg->type()) & 0xff))
+                : 0;
+        tr->SetCurrent(tr->Emit(now_, TraceKind::kDispatchDelivery, tag, to,
+                                from, 0, tparent));
+      }
       sink->OnDelivery(from, to, msg, now_);
       break;
     }
@@ -357,15 +386,26 @@ void Simulator::Dispatch(uint32_t index) {
       TimerTarget* target = slot.target;
       const uint64_t tag = slot.tag;
       ReleaseSlot(index);
+      if (tr != nullptr) {
+        tr->SetCurrent(tr->Emit(now_, TraceKind::kDispatchTimer, 0, 0, tag, 0,
+                                tparent));
+      }
       target->OnTimer(tag, now_);
       break;
     }
     case Kind::kClosure: {
       std::function<void()> fn = std::move(slot.fn);
       ReleaseSlot(index);
+      if (tr != nullptr) {
+        tr->SetCurrent(
+            tr->Emit(now_, TraceKind::kDispatchClosure, 0, 0, 0, 0, tparent));
+      }
       fn();
       break;
     }
+  }
+  if (tr != nullptr) {
+    tr->SetCurrent(0);
   }
 }
 

@@ -52,9 +52,11 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/event_core.h"
 #include "src/sim/time.h"
 #include "src/util/check.h"
@@ -146,8 +148,48 @@ class Simulator {
 
   // Tags natively scheduled events with this partition id in the ordering
   // key. Defaults to 0; single-simulator deployments never call it.
-  void SetPartition(uint32_t p) { partition_ = p; }
+  void SetPartition(uint32_t p) {
+    partition_ = p;
+    if (trace_ != nullptr) {
+      trace_->SetPartition(p);
+    }
+  }
   uint32_t partition() const { return partition_; }
+
+  // --- flight recorder (src/obs/trace.h) ---------------------------------
+
+  // Attaches a TraceRecorder to this simulator. Off by default; when off the
+  // event hot path pays exactly one null test per dispatch. Recording is
+  // schedule-neutral: it never schedules events or perturbs (at, sched, src,
+  // seq) assignment, so fingerprints are identical with tracing on or off.
+  // Must precede scheduling (the native-pending gauge counter starts at 0).
+  void EnableTrace() {
+    if (trace_own_ != nullptr) {
+      return;  // idempotent: sharded builds enable once, per-shard no-ops
+    }
+    OL_CHECK_MSG(live_ == 0, "tracing must be enabled before scheduling");
+    trace_own_ = std::make_unique<TraceRecorder>(partition_);
+    trace_ = trace_own_.get();
+  }
+  TraceRecorder* trace() { return trace_; }
+  const TraceRecorder* trace() const { return trace_; }
+
+  // Causal parent for work scheduled by the currently executing handler
+  // (0 when tracing is off or between events). The network stamps this into
+  // cross-partition records.
+  uint64_t TraceContext() const {
+    return trace_ != nullptr ? trace_->current() : 0;
+  }
+
+  // Live events scheduled by THIS partition's own handlers. Unlike
+  // pending(), excludes foreign records, whose insertion instant depends on
+  // the execution driver's barrier timing — this is the driver-invariant
+  // count the GaugeSampler samples. Falls back to pending() when tracing is
+  // off (the counter needs the per-event hook; without partitions the two
+  // are equal anyway).
+  size_t NativePending() const {
+    return trace_ != nullptr ? native_pending_ : live_;
+  }
 
   // Reserves a tie-break sequence number from THIS simulator's counter for a
   // cross-partition record created by one of its handlers. Allocation order
@@ -173,6 +215,10 @@ class Simulator {
     DeliverySink* sink = nullptr;
     ReplicaId from = kNoReplica;
     ReplicaId to = kNoReplica;
+    // Trace-record id of the dispatch that created this record (0 when the
+    // source partition is not tracing) — how causal parenting crosses the
+    // PDES lanes without touching Message layout.
+    uint64_t trace_parent = 0;
   };
 
   // Inserts a cross-partition delivery into this partition's queue. The
@@ -242,6 +288,7 @@ class Simulator {
     uint32_t src = 0;             // originating partition (tie-break, 3rd)
     uint64_t seq = 0;             // source schedule order (tie-break, last)
     uint32_t next = kNil;         // intrusive bucket chain link
+    uint64_t trace_parent = 0;    // causal parent record id (tracing only)
     DeliverySink* sink = nullptr;
     TimerTarget* target = nullptr;
     MessagePtr msg;
@@ -322,6 +369,11 @@ class Simulator {
   size_t live_ = 0;
   bool use_heap_ = false;
   uint32_t partition_ = 0;  // ordering-key source id for native events
+
+  // Flight recorder (EnableTrace); null on the default, zero-cost path.
+  std::unique_ptr<TraceRecorder> trace_own_;
+  TraceRecorder* trace_ = nullptr;
+  size_t native_pending_ = 0;  // live events scheduled natively (tracing only)
 
   // Wheel state, allocated lazily on the first schedule (tests that only
   // poke the API shouldn't pay 128 KB per Simulator).

@@ -265,6 +265,10 @@ void RsmGroup::OnStateChunk(ReplicaId id, const StateChunkMsg& msg,
   }
   ++transfer_chunks_;
   transfer_bytes_ += msg.WireSize();
+  if (TraceRecorder* tr = sim_->trace()) {
+    tr->EmitHere(at, TraceKind::kRecoveryChunk, /*snapshot=*/1, id, msg.chunk,
+                 msg.WireSize());
+  }
   if (!msg.has_checkpoint) {
     // Donor has no snapshot: replay its full log from index 0 instead (the
     // amnesiac log is already based at 0).
@@ -323,6 +327,10 @@ void RsmGroup::OnSuffixChunk(ReplicaId id, const LogSuffixChunkMsg& msg,
   }
   ++transfer_chunks_;
   transfer_bytes_ += msg.WireSize();
+  if (TraceRecorder* tr = sim_->trace()) {
+    tr->EmitHere(at, TraceKind::kRecoveryChunk, /*suffix=*/2, id,
+                 msg.from_index, msg.WireSize());
+  }
   if (msg.truncated_past) {
     // The donor checkpointed while we streamed: its remaining suffix starts
     // past our frontier. Restart from its snapshot.

@@ -143,6 +143,11 @@ void WorkloadClient::StartNewRequest(SimTime now) {
     ++fleet_->abandoned_;
   }
   ++fleet_->sent_;
+  if (TraceRecorder* tr = fleet_->sim_->trace()) {
+    // The lifecycle root for this request's span tree (retries reuse it —
+    // stage breakdowns measure from the original send, like sent_at does).
+    tr->EmitHere(now, TraceKind::kClientSend, 0, id_, id, id_);
+  }
   SendAttempt(id, now);
 }
 
@@ -213,6 +218,10 @@ void WorkloadClient::OnMessage(ReplicaId from, const MessagePtr& msg,
   }
   if (fleet_->opts_.kv.enabled && fleet_->opts_.kv.verify) {
     VerifyResult(o.op, reply.result);
+  }
+  if (TraceRecorder* tr = fleet_->sim_->trace()) {
+    tr->EmitHere(at, TraceKind::kClientComplete, 0, id_, reply.request_id,
+                 id_);
   }
   const SimTime delta = at - o.sent_at;
   fleet_->RecordCompletion(delta);

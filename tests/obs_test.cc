@@ -1,0 +1,262 @@
+// Flight recorder (src/obs/): the determinism contracts the tracing layer
+// rides on.
+//
+//  * Schedule neutrality: enabling the TraceRecorder never perturbs the
+//    committed metrics fingerprint — tracing is free to leave on in any
+//    experiment without invalidating its baseline.
+//  * Driver invariance: the merged trace (and hence TraceBytes, the stage
+//    breakdown, and the Chrome export) is byte-identical between the merged
+//    sequential driver and the windowed PDES driver at any --sim-threads.
+//  * Causality: record ids are unique, every nonzero parent resolves to an
+//    earlier record, and cross-partition sends carry their parent across
+//    the partition boundary (the 2PC chains would otherwise sever).
+//  * Gauge sampling: partition-confined reads on sim-time timers — its own
+//    fingerprint, but the same bytes under every driver.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/api/deployment.h"
+#include "src/obs/chrome_export.h"
+#include "src/obs/stage_breakdown.h"
+#include "src/obs/trace.h"
+#include "src/rsm/metrics.h"
+#include "src/runner/scenario.h"
+#include "src/shard/sharded_deployment.h"
+
+namespace optilog {
+namespace {
+
+// Small single-group deployment: a closed-loop fleet on HotStuff.
+std::unique_ptr<Deployment> BuildSingle(bool trace, SimTime gauge_interval) {
+  WorkloadOptions w;
+  w.arrival = ArrivalProcess::kClosedLoop;
+  w.outstanding = 1;
+  w.think_time = 10 * kMsec;
+  w.batch.max_batch = 16;
+  w.batch.max_delay = 5 * kMsec;
+  Deployment::Builder b;
+  b.WithGeo(Europe21())
+      .WithReplicas(7, 2)
+      .WithProtocol(Protocol::kHotStuff)
+      .WithSeed(5)
+      .WithWorkload(w)
+      .WithStateMachine();
+  if (gauge_interval > 0) {
+    b.WithGaugeSampling(gauge_interval);
+  } else if (trace) {
+    b.WithTrace();
+  }
+  return b.Build();
+}
+
+// 2-shard 50%-cross 2PC deployment — three event-core partitions, so trace
+// records and their parents cross partition boundaries.
+std::unique_ptr<ShardedDeployment> BuildSharded(bool trace,
+                                                SimTime gauge_interval,
+                                                unsigned sim_threads) {
+  WorkloadOptions w;
+  w.arrival = ArrivalProcess::kClosedLoop;
+  w.outstanding = 1;
+  w.batch.max_batch = 32;
+  w.batch.max_delay = 10 * kMsec;
+  TxnWorkloadOptions txn;
+  txn.clients_per_shard = 4;
+  txn.keys_per_txn = 2;
+  txn.hot_pct = 20;
+  txn.think_time = 5 * kMsec;
+  txn.stop_at = 4 * kSec;
+  StateMachineOptions sm;
+  sm.checkpoint.interval = 64;
+  sm.checkpoint.truncate = true;
+  Deployment::Builder b;
+  b.WithGeo(Europe21())
+      .WithReplicas(7, 2)
+      .WithProtocol(Protocol::kHotStuff)
+      .WithSeed(29)
+      .WithWorkload(w)
+      .WithStateMachine(sm)
+      .WithShards(2)
+      .WithCrossShardRatio(0.5)
+      .WithTxnWorkload(txn)
+      .WithSimThreads(sim_threads);
+  if (gauge_interval > 0) {
+    b.WithGaugeSampling(gauge_interval);
+  } else if (trace) {
+    b.WithTrace();
+  }
+  return b.BuildSharded();
+}
+
+TEST(Obs, TracingIsScheduleNeutral) {
+  auto plain = BuildSingle(/*trace=*/false, /*gauge_interval=*/0);
+  plain->Start();
+  plain->RunUntil(5 * kSec);
+  const std::string f0 = MetricsFingerprint(plain->Metrics());
+  EXPECT_TRUE(plain->TraceRecords().empty());
+
+  auto traced = BuildSingle(/*trace=*/true, /*gauge_interval=*/0);
+  traced->Start();
+  traced->RunUntil(5 * kSec);
+  EXPECT_EQ(MetricsFingerprint(traced->Metrics()), f0);
+  EXPECT_FALSE(traced->TraceRecords().empty());
+}
+
+TEST(Obs, StageBreakdownCoversCommittedRequests) {
+  auto d = BuildSingle(/*trace=*/true, /*gauge_interval=*/0);
+  d->Start();
+  d->RunUntil(5 * kSec);
+  const StageBreakdown sb = ComputeStageBreakdown(d->TraceRecords());
+  EXPECT_GT(sb.requests, 50u);
+  // The telescoped total equals the stage sum by construction.
+  EXPECT_NEAR(sb.total_ms,
+              sb.client_net_ms + sb.queue_ms + sb.batch_ms + sb.consensus_ms +
+                  sb.apply_ms + sb.reply_ms,
+              1e-6);
+  // >= 99% of committed requests reconstruct fully.
+  EXPECT_GE(100.0 * static_cast<double>(sb.requests) /
+                static_cast<double>(sb.requests + sb.incomplete),
+            99.0);
+}
+
+TEST(Obs, MergedTraceIsDriverInvariant) {
+  auto seq = BuildSharded(/*trace=*/true, /*gauge_interval=*/0,
+                          /*sim_threads=*/1);
+  seq->Start();
+  seq->RunUntil(8 * kSec);
+  const std::string seq_bytes = TraceBytes(seq->TraceRecords());
+  const std::string seq_fp = MetricsFingerprint(seq->Metrics());
+  ASSERT_FALSE(seq_bytes.empty());
+
+  auto par = BuildSharded(/*trace=*/true, /*gauge_interval=*/0,
+                          /*sim_threads=*/4);
+  par->Start();
+  par->RunUntil(8 * kSec);
+  ASSERT_NE(par->executor(), nullptr);
+  EXPECT_TRUE(par->executor()->parallel());
+  EXPECT_EQ(MetricsFingerprint(par->Metrics()), seq_fp);
+  EXPECT_EQ(TraceBytes(par->TraceRecords()), seq_bytes);
+
+  // Everything downstream of the merged trace is then invariant too.
+  const StageBreakdown a = ComputeStageBreakdown(seq->TraceRecords());
+  const StageBreakdown b = ComputeStageBreakdown(par->TraceRecords());
+  EXPECT_GT(a.requests, 20u);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.total_ms, b.total_ms);
+  EXPECT_EQ(ChromeTraceJson(seq->TraceRecords()),
+            ChromeTraceJson(par->TraceRecords()));
+}
+
+TEST(Obs, CausalForestIsConnectedAcrossPartitions) {
+  auto sd = BuildSharded(/*trace=*/true, /*gauge_interval=*/0,
+                         /*sim_threads=*/4);
+  sd->Start();
+  sd->RunUntil(8 * kSec);
+  const std::vector<TraceRecord> records = sd->TraceRecords();
+  ASSERT_GT(records.size(), 1000u);
+
+  std::set<uint64_t> ids;
+  std::set<uint64_t> partitions;
+  size_t cross_partition_edges = 0;
+  for (const TraceRecord& r : records) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate record id " << r.id;
+    partitions.insert(r.id >> 48);
+    if (r.parent != 0) {
+      // Parents are always earlier in the merged order, so a one-pass check
+      // against the ids seen so far proves the forest is well-founded.
+      EXPECT_TRUE(ids.count(r.parent))
+          << "dangling parent " << r.parent << " of " << r.id;
+      if ((r.parent >> 48) != (r.id >> 48)) {
+        ++cross_partition_edges;
+      }
+    }
+  }
+  // 2 shard partitions + the client partition all emitted records, and 2PC
+  // chains carried causality across partition boundaries.
+  EXPECT_EQ(partitions.size(), 3u);
+  EXPECT_GT(cross_partition_edges, 0u);
+}
+
+TEST(Obs, GaugeSeriesAreDeterministicAcrossDrivers) {
+  auto seq = BuildSharded(/*trace=*/true, /*gauge_interval=*/500 * kMsec,
+                          /*sim_threads=*/1);
+  seq->Start();
+  seq->RunUntil(8 * kSec);
+  const MetricsReport a = seq->Metrics();
+  ASSERT_TRUE(a.timeseries.enabled);
+  ASSERT_FALSE(a.timeseries.series.empty());
+  // 8 s at 500 ms -> 16 samples per series; per-shard series are prefixed.
+  for (const TimeseriesReport::Series& s : a.timeseries.series) {
+    EXPECT_EQ(s.values.size(), 16u) << s.name;
+    EXPECT_EQ(s.name.substr(0, 1), "s") << s.name;
+  }
+
+  auto par = BuildSharded(/*trace=*/true, /*gauge_interval=*/500 * kMsec,
+                          /*sim_threads=*/4);
+  par->Start();
+  par->RunUntil(8 * kSec);
+  const MetricsReport b = par->Metrics();
+  EXPECT_EQ(MetricsFingerprint(a), MetricsFingerprint(b));
+  ASSERT_EQ(a.timeseries.series.size(), b.timeseries.series.size());
+  for (size_t i = 0; i < a.timeseries.series.size(); ++i) {
+    EXPECT_EQ(a.timeseries.series[i].name, b.timeseries.series[i].name);
+    EXPECT_EQ(a.timeseries.series[i].values, b.timeseries.series[i].values);
+  }
+}
+
+TEST(Obs, GaugeSamplingOnSingleDeployment) {
+  auto d = BuildSingle(/*trace=*/true, /*gauge_interval=*/kSec);
+  d->Start();
+  d->RunUntil(5 * kSec);
+  const MetricsReport m = d->Metrics();
+  ASSERT_TRUE(m.timeseries.enabled);
+  EXPECT_EQ(m.timeseries.interval, kSec);
+  // Registration order is the series order: 7 commit frontiers, then the
+  // queue depth, pending events, and pool hit rate (no crypto model here).
+  ASSERT_GE(m.timeseries.series.size(), 9u);
+  EXPECT_EQ(m.timeseries.series[0].name, "commit_frontier.r0");
+  for (const TimeseriesReport::Series& s : m.timeseries.series) {
+    EXPECT_EQ(s.values.size(), 5u) << s.name;
+  }
+  // Commit frontiers are monotone — the sampler reads live protocol state.
+  const auto& frontier = m.timeseries.series[0].values;
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i], frontier[i - 1]);
+  }
+  EXPECT_GT(frontier.back(), 0.0);
+}
+
+TEST(Obs, ThroughputRecorderClampsFarFutureCommits) {
+  ThroughputRecorder rec;
+  rec.RecordCommit(2 * kSec, 3);
+  // A corrupt / absurd commit timestamp must not balloon the per-second
+  // vector (it used to resize to at/kSec entries unconditionally).
+  const SimTime far = static_cast<SimTime>(1) << 60;
+  rec.RecordCommit(far, 5);
+  rec.RecordCommit(-5 * kSec, 1);  // negative folds into bucket 0
+  EXPECT_LE(rec.per_second().size(), ThroughputRecorder::kMaxTrackedSeconds);
+  EXPECT_EQ(rec.total(), 9u);
+  EXPECT_EQ(rec.per_second()[2], 3u);
+  EXPECT_EQ(rec.per_second()[0], 1u);
+  EXPECT_EQ(rec.per_second().back(), 5u);
+}
+
+TEST(Obs, TraceBytesIsCanonical) {
+  TraceRecorder a(/*partition=*/0);
+  a.Emit(10, TraceKind::kDispatchTimer, 0, 1, 42, 0, 0);
+  TraceRecorder b(/*partition=*/1);
+  b.Emit(5, TraceKind::kMsgSend, 0, 2, 3, 100, 0);
+  const std::vector<TraceRecord> merged = MergeTraces({&a, &b});
+  ASSERT_EQ(merged.size(), 2u);
+  // Merged order is (t, id): partition 1's earlier record sorts first.
+  EXPECT_EQ(merged[0].t, 5);
+  EXPECT_EQ(merged[0].id >> 48, 1u);
+  EXPECT_EQ(merged[1].id >> 48, 0u);
+  const std::string bytes = TraceBytes(merged);
+  EXPECT_EQ(bytes.size(), merged.size() * 48);
+}
+
+}  // namespace
+}  // namespace optilog

@@ -79,6 +79,12 @@ def parse_args(argv):
         "crypto_ns_meas*": 5.0,
         "crypto_ns*": 0.10,
         "wire_bytes*": 0.02,
+        # Flight-recorder stage sums (trace_breakdown): per-stage millisecond
+        # totals over thousands of chains — deterministic, but every chain
+        # inherits the upstream latency headroom, so the sums get the same
+        # 5% band the latency percentiles do. Chain counts (requests,
+        # incomplete) stay integer-exact.
+        "stage_*_ms": 0.05,
     }
     tols = {}
     for spec in args.tol:
@@ -189,6 +195,21 @@ class Comparator:
             else:
                 for key in bm:
                     self.check_value(where, key, bm[key], cm[key])
+            bts, cts = bp.get("timeseries", {}), cp.get("timeseries", {})
+            if bts.keys() != cts.keys():
+                self.fail(where, f"timeseries keys {sorted(bts)} != "
+                                 f"{sorted(cts)}")
+            else:
+                # Gauge series: shape exact, values per-element under the
+                # series-name tolerance (integer-valued samples — commit
+                # frontiers, queue depths — stay exact like count metrics).
+                for key in bts:
+                    if len(bts[key]) != len(cts[key]):
+                        self.fail(f"{where}.timeseries", f"{key}: sample count "
+                                  f"{len(bts[key])} != {len(cts[key])}")
+                        continue
+                    for j, (bv, cv) in enumerate(zip(bts[key], cts[key])):
+                        self.check_value(f"{where}.timeseries[{j}]", key, bv, cv)
             bec, cec = bp.get("event_core", {}), cp.get("event_core", {})
             self.record_throughput(name, bp, cp, bec, cec)
             if bec != cec:

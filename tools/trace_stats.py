@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Per-request critical-path statistics from an exported Chrome trace.
+
+Usage:
+    trace_stats.py TRACE_JSON [--csv]
+
+Input is the Chrome trace-event JSON that `optilog_bench --trace
+<scenario>:<point>:<path>` writes (src/obs/chrome_export.cc): one instant
+event per flight-recorder record, carrying the raw record in `args`
+(id/parent/kind/type/a/b). This script is the offline twin of
+src/obs/stage_breakdown.cc — it refolds the six-record client lifecycle
+(client_send -> queue_admit -> batch_seal -> commit -> reply_sent ->
+client_complete, keyed by (request id, client id), first record of each kind
+wins) and reports:
+
+  * chain reconstruction: committed requests with the full chain vs
+    committed requests missing a lifecycle record;
+  * per-stage latency (mean / p50 / p99) across complete chains:
+    client_net, queue, consensus, apply, reply — plus end-to-end total;
+  * the causal forest shape: record count, root count, dangling-parent
+    count (must be 0), and cross-partition edge count.
+
+Timestamps in the trace are microseconds of sim time (Chrome's native `ts`
+unit); stages print in ms.
+Exit status: 0 clean, 1 if the trace is structurally broken (dangling
+parents or no complete chains), 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+# TraceKind constants (src/obs/trace.h — stable wire values).
+CLIENT_SEND = 16
+QUEUE_ADMIT = 17
+BATCH_SEAL = 18
+COMMIT = 19
+REPLY_SENT = 20
+CLIENT_COMPLETE = 21
+LIFECYCLE = range(CLIENT_SEND, CLIENT_COMPLETE + 1)
+
+STAGE_NAMES = ["client_net", "queue", "consensus", "apply", "reply", "total"]
+# (stage, from-kind, to-kind): each stage telescopes between two lifecycle
+# records; "batch" is 0 by construction (seal and propose share a handler).
+STAGE_EDGES = [
+    ("client_net", CLIENT_SEND, QUEUE_ADMIT),
+    ("queue", QUEUE_ADMIT, BATCH_SEAL),
+    ("consensus", BATCH_SEAL, COMMIT),
+    ("apply", COMMIT, REPLY_SENT),
+    ("reply", REPLY_SENT, CLIENT_COMPLETE),
+    ("total", CLIENT_SEND, CLIENT_COMPLETE),
+]
+
+
+def percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("trace", help="Chrome trace JSON from optilog_bench --trace")
+    ap.add_argument("--csv", action="store_true", help="machine-readable output")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read '{args.trace}': {e}", file=sys.stderr)
+        return 2
+
+    records = []  # (t_ns, id, parent, kind, a, b)
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "i":
+            continue
+        a = ev.get("args", {})
+        if "kind" not in a:
+            continue
+        records.append(
+            (ev["ts"], a["id"], a["parent"], a["kind"], a["a"], a["b"])
+        )
+
+    if not records:
+        print("error: no flight-recorder instant events in the trace",
+              file=sys.stderr)
+        return 1
+
+    # Causal forest shape. Parent ids always refer to earlier records, so one
+    # pass suffices.
+    ids = set()
+    roots = 0
+    dangling = 0
+    cross_partition = 0
+    for _, rid, parent, _, _, _ in records:
+        ids.add(rid)
+        if parent == 0:
+            roots += 1
+        elif parent not in ids:
+            dangling += 1
+        elif (parent >> 48) != (rid >> 48):
+            cross_partition += 1
+
+    # Lifecycle chains keyed (client id, request id); first record of each
+    # kind wins — records are in merged (t, id) order in the file.
+    chains = {}
+    for t, _, _, kind, a, b in records:
+        if kind not in LIFECYCLE:
+            continue
+        chain = chains.setdefault((b, a), {})
+        chain.setdefault(kind, t)
+
+    complete = []
+    incomplete = 0
+    for chain in chains.values():
+        if CLIENT_SEND not in chain:
+            continue  # coordinator-internal record, not a client request
+        if COMMIT not in chain:
+            continue  # never committed
+        if all(k in chain for k in LIFECYCLE):
+            complete.append(chain)
+        else:
+            incomplete += 1
+
+    stages = {name: [] for name in STAGE_NAMES}
+    for chain in complete:
+        for name, lo, hi in STAGE_EDGES:
+            stages[name].append((chain[hi] - chain[lo]) / 1e3)
+
+    committed = len(complete) + incomplete
+    pct = 100.0 * len(complete) / committed if committed else 0.0
+
+    if args.csv:
+        print("stage,count,mean_ms,p50_ms,p99_ms")
+        for name in STAGE_NAMES:
+            vals = sorted(stages[name])
+            mean = sum(vals) / len(vals) if vals else 0.0
+            print(f"{name},{len(vals)},{mean:.3f},"
+                  f"{percentile(vals, 0.5):.3f},{percentile(vals, 0.99):.3f}")
+    else:
+        print(f"records: {len(records)}  roots: {roots}  "
+              f"cross-partition edges: {cross_partition}  "
+              f"dangling parents: {dangling}")
+        print(f"committed requests: {committed}  complete chains: "
+              f"{len(complete)} ({pct:.1f}%)  incomplete: {incomplete}")
+        print(f"{'stage':<12} {'mean_ms':>9} {'p50_ms':>9} {'p99_ms':>9}")
+        for name in STAGE_NAMES:
+            vals = sorted(stages[name])
+            mean = sum(vals) / len(vals) if vals else 0.0
+            print(f"{name:<12} {mean:>9.2f} {percentile(vals, 0.5):>9.2f} "
+                  f"{percentile(vals, 0.99):>9.2f}")
+
+    if dangling or not complete:
+        print("FAIL: broken trace (dangling parents or no complete chains)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
